@@ -1,0 +1,56 @@
+// Figure 1: the latency-accuracy trade-off of the seven off-the-shelf
+// networks on the embedded device, the 0.9 ms deadline, and the accuracy
+// gap left by the best deadline-meeting network.
+#include "bench_common.hpp"
+
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace netcut;
+  using namespace netcut::bench;
+
+  print_header("Fig 1: off-the-shelf latency/accuracy trade-off (deadline 0.9 ms)");
+
+  core::LatencyLab lab(lab_config());
+  const data::HandsDataset dataset(dataset_config());
+  core::TrnEvaluator evaluator(dataset, eval_config());
+
+  util::Table table({"network", "latency_ms", "accuracy(ang-sim)", "top1", "meets 0.9ms"});
+  std::vector<core::TradeoffPoint> points;
+  for (zoo::NetId net : zoo::all_nets()) {
+    const int full = lab.full_cut(net);
+    const double latency = lab.measured_ms(net, full);
+    const core::AccuracyResult acc = evaluator.accuracy(net, full);
+    table.add_row({zoo::net_name(net), util::Table::num(latency, 3),
+                   util::Table::num(acc.angular_similarity, 4),
+                   util::Table::num(acc.top1, 3), latency <= kDeadlineMs ? "yes" : "no"});
+    points.push_back({zoo::net_name(net), latency, acc.angular_similarity});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const int best = core::best_under_deadline(points, kDeadlineMs);
+  if (best < 0) {
+    std::printf("no off-the-shelf network meets the deadline\n");
+    return 1;
+  }
+  const auto& b = points[static_cast<std::size_t>(best)];
+  std::printf("best off-the-shelf under deadline: %s  (%.3f ms, accuracy %.4f)\n",
+              b.name.c_str(), b.latency_ms, b.accuracy);
+
+  double best_any = 0.0;
+  std::string best_any_name;
+  for (const auto& p : points)
+    if (p.accuracy > best_any) {
+      best_any = p.accuracy;
+      best_any_name = p.name;
+    }
+  std::printf("most accurate network overall:     %s  (accuracy %.4f)\n",
+              best_any_name.c_str(), best_any);
+  std::printf("accuracy gap at the deadline:      %.4f (slack the paper's TRNs reclaim)\n",
+              best_any - b.accuracy);
+
+  std::printf("\nPareto frontier of off-the-shelf networks:\n");
+  for (const auto& p : core::pareto_frontier(points))
+    std::printf("  %-18s %8.3f ms   %.4f\n", p.name.c_str(), p.latency_ms, p.accuracy);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5: the effect of blockwise layer removal on accuracy for all seven
+// architectures — one series per network, accuracy vs layers removed — plus
+// the paper's qualitative observations (DenseNet/Inception plateau,
+// MobileNets degrade fastest, MobileNetV2 more sensitive than ResNet).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace netcut;
+  using namespace netcut::bench;
+
+  print_header("Fig 5: accuracy vs layers removed, all architectures (blockwise TRNs)");
+
+  core::LatencyLab lab(lab_config());
+  const data::HandsDataset dataset(dataset_config());
+  core::TrnEvaluator evaluator(dataset, eval_config());
+  core::BlockwiseExplorer explorer(lab, evaluator);
+
+  util::Table table({"network", "trn", "blocks_removed", "layers_removed", "accuracy"});
+  int total_trns = 0;
+  struct SeriesStats {
+    std::string name;
+    double full_acc = 0.0;
+    double drop_quarter = 0.0;  // accuracy loss at ~25% of layers removed
+    double min_acc = 1.0;
+  };
+  std::vector<SeriesStats> stats;
+
+  for (zoo::NetId net : zoo::all_nets()) {
+    const auto candidates = explorer.explore(net, true);
+    SeriesStats st;
+    st.name = zoo::net_name(net);
+    st.full_acc = candidates.front().accuracy;
+    const int total_layers = candidates.front().layers_remaining;
+    for (const core::Candidate& c : candidates) {
+      table.add_row({c.base_name, c.trn_name, std::to_string(c.blocks_removed),
+                     std::to_string(c.layers_removed), util::Table::num(c.accuracy, 4)});
+      if (c.blocks_removed > 0) ++total_trns;
+      st.min_acc = std::min(st.min_acc, c.accuracy);
+      if (st.drop_quarter == 0.0 && c.layers_removed >= total_layers / 4)
+        st.drop_quarter = st.full_acc - c.accuracy;
+    }
+    stats.push_back(std::move(st));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("total blockwise TRNs retrained: %d (paper: 148, incl. 7 base networks)\n\n",
+              total_trns);
+
+  std::printf("per-architecture sensitivity (accuracy drop at ~25%% layers removed):\n");
+  for (const SeriesStats& st : stats)
+    std::printf("  %-18s full=%.4f  drop@25%%=%+.4f  worst=%.4f\n", st.name.c_str(),
+                st.full_acc, -st.drop_quarter, st.min_acc);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6: the accuracy-performance trade-off of all blockwise TRNs — the
+// densified scatter that fills the gaps between off-the-shelf networks.
+// Also checks the paper's observation that TRNs of MobileNetV1(0.5) can
+// dominate the off-the-shelf MobileNetV1(0.25).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace netcut;
+  using namespace netcut::bench;
+
+  print_header("Fig 6: accuracy-latency trade-off of all TRNs");
+
+  core::LatencyLab lab(lab_config());
+  const data::HandsDataset dataset(dataset_config());
+  core::TrnEvaluator evaluator(dataset, eval_config());
+  core::BlockwiseExplorer explorer(lab, evaluator);
+
+  const auto candidates = explorer.explore_all(true);
+
+  util::Table table({"trn", "latency_ms", "accuracy", "blocks_removed"});
+  for (const core::Candidate& c : candidates)
+    table.add_row({c.trn_name, util::Table::num(c.latency_ms, 3),
+                   util::Table::num(c.accuracy, 4), std::to_string(c.blocks_removed)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Does some MobileNetV1-0.50 TRN dominate off-the-shelf MobileNetV1-0.25?
+  const core::Candidate* mnv1_025_full = nullptr;
+  for (const core::Candidate& c : candidates)
+    if (c.base == zoo::NetId::kMobileNetV1_025 && c.blocks_removed == 0) mnv1_025_full = &c;
+  bool dominated = false;
+  std::string dominator;
+  for (const core::Candidate& c : candidates) {
+    if (c.base != zoo::NetId::kMobileNetV1_050 || c.blocks_removed == 0) continue;
+    if (c.latency_ms <= mnv1_025_full->latency_ms &&
+        c.accuracy >= mnv1_025_full->accuracy &&
+        (c.latency_ms < mnv1_025_full->latency_ms ||
+         c.accuracy > mnv1_025_full->accuracy)) {
+      dominated = true;
+      dominator = c.trn_name;
+      break;
+    }
+  }
+  std::printf("MobileNetV1-0.25 off-the-shelf: %.3f ms, accuracy %.4f\n",
+              mnv1_025_full->latency_ms, mnv1_025_full->accuracy);
+  std::printf("dominated by a MobileNetV1-0.50 TRN: %s%s\n",
+              dominated ? "yes, " : "no", dominator.c_str());
+
+  // How many TRNs land inside the deadline where no off-the-shelf net was?
+  int trns_in_gap = 0;
+  double best_offshelf_under = 0.0;
+  for (const core::Candidate& c : candidates)
+    if (c.blocks_removed == 0 && c.latency_ms <= kDeadlineMs)
+      best_offshelf_under = std::max(best_offshelf_under, c.latency_ms);
+  for (const core::Candidate& c : candidates)
+    if (c.blocks_removed > 0 && c.latency_ms <= kDeadlineMs &&
+        c.latency_ms > best_offshelf_under)
+      ++trns_in_gap;
+  std::printf("TRNs inside the deadline gap (%.3f..%.3f ms): %d\n", best_offshelf_under,
+              kDeadlineMs, trns_in_gap);
+  return 0;
+}

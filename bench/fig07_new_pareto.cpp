@@ -1,0 +1,76 @@
+// Figure 7: the new Pareto frontier after layer removal, and the paper's
+// headline relative-accuracy-improvement numbers: up to 10.43% for a single
+// removed block of MobileNetV1(0.5), 5.0% on average over all TRNs.
+//
+// "Relative improvement" of a TRN is measured the way the paper uses it:
+// against the best *off-the-shelf* network whose latency does not exceed
+// the TRN's own latency budget (the network one would otherwise deploy).
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+int main() {
+  using namespace netcut;
+  using namespace netcut::bench;
+
+  print_header("Fig 7: the new Pareto frontier (off-the-shelf + TRNs)");
+
+  core::LatencyLab lab(lab_config());
+  const data::HandsDataset dataset(dataset_config());
+  core::TrnEvaluator evaluator(dataset, eval_config());
+  core::BlockwiseExplorer explorer(lab, evaluator);
+
+  const auto candidates = explorer.explore_all(true);
+
+  std::vector<core::TradeoffPoint> offshelf, all;
+  for (const core::Candidate& c : candidates) {
+    const core::TradeoffPoint p{c.trn_name, c.latency_ms, c.accuracy};
+    if (c.blocks_removed == 0) offshelf.push_back(p);
+    all.push_back(p);
+  }
+
+  const auto old_frontier = core::pareto_frontier(offshelf);
+  const auto new_frontier = core::pareto_frontier(all);
+
+  std::printf("old frontier (off-the-shelf only), %zu points:\n", old_frontier.size());
+  for (const auto& p : old_frontier)
+    std::printf("  %-24s %8.3f ms   %.4f\n", p.name.c_str(), p.latency_ms, p.accuracy);
+  std::printf("\nnew frontier (with TRNs), %zu points:\n", new_frontier.size());
+  for (const auto& p : new_frontier)
+    std::printf("  %-24s %8.3f ms   %.4f\n", p.name.c_str(), p.latency_ms, p.accuracy);
+
+  // Relative improvement of each TRN over the best off-the-shelf network
+  // at or under the TRN's latency.
+  double best_gain = 0.0;
+  std::string best_gain_name;
+  double gain_sum = 0.0;
+  int gain_count = 0;
+  for (const core::Candidate& c : candidates) {
+    if (c.blocks_removed == 0) continue;
+    const int ref = core::best_under_deadline(offshelf, c.latency_ms);
+    if (ref < 0) continue;
+    const double ref_acc = offshelf[static_cast<std::size_t>(ref)].accuracy;
+    const double gain = (c.accuracy - ref_acc) / ref_acc * 100.0;
+    gain_sum += gain;
+    ++gain_count;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_gain_name = c.trn_name;
+    }
+  }
+  std::printf("\nmax relative accuracy improvement:  %.2f%% (%s)   [paper: 10.43%%]\n",
+              best_gain, best_gain_name.c_str());
+  std::printf("mean relative improvement over TRNs: %.2f%%            [paper: 5.0%%]\n",
+              gain_sum / std::max(1, gain_count));
+
+  // The single-block MobileNetV1-0.5 TRN the paper highlights.
+  for (const core::Candidate& c : candidates)
+    if (c.base == zoo::NetId::kMobileNetV1_050 && c.blocks_removed == 1) {
+      const int ref = core::best_under_deadline(offshelf, c.latency_ms);
+      const double ref_acc = offshelf[static_cast<std::size_t>(ref)].accuracy;
+      std::printf("MobileNetV1-0.50 minus 1 block (%s): %+.2f%% vs %s\n", c.trn_name.c_str(),
+                  (c.accuracy - ref_acc) / ref_acc * 100.0,
+                  offshelf[static_cast<std::size_t>(ref)].name.c_str());
+    }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 8: latency estimations vs measured ground truth for ResNet-50's
+// TRN sweep — the profiler-based ratio estimator, the analytical RBF-SVR,
+// the linear-regression ablation, and the measurement itself.
+#include "bench_common.hpp"
+
+#include "util/stats.hpp"
+
+int main() {
+  using namespace netcut;
+  using namespace netcut::bench;
+
+  print_header("Fig 8: estimation vs ground truth (ResNet-50 TRNs)");
+
+  core::LatencyLab lab(lab_config());
+
+  // Train the learned estimators on the 20% split of the full-zoo samples.
+  const auto samples = collect_latency_samples(lab);
+  std::vector<core::LatencySample> train, test;
+  split_samples(samples, train, test);
+  core::AnalyticalEstimator svr(lab);
+  svr.fit(train);
+  core::LinearEstimator lin(lab);
+  lin.fit(train);
+  core::ProfilerEstimator prof(lab);
+
+  const zoo::NetId net = zoo::NetId::kResNet50;
+  util::Table table(
+      {"trn", "measured_ms", "profiler_ms", "analytical_ms", "linear_ms"});
+  std::vector<double> truths, prof_e, svr_e, lin_e;
+  for (int cut : lab.blockwise(net)) {
+    const double truth = lab.measured_ms(net, cut);
+    const double p = prof.estimate_ms(net, cut);
+    const double a = svr.estimate_ms(net, cut);
+    const double l = lin.estimate_ms(net, cut);
+    table.add_row({lab.name(net, cut), util::Table::num(truth, 3), util::Table::num(p, 3),
+                   util::Table::num(a, 3), util::Table::num(l, 3)});
+    truths.push_back(truth);
+    prof_e.push_back(p);
+    svr_e.push_back(a);
+    lin_e.push_back(l);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("mean relative error on ResNet-50 TRNs:\n");
+  std::printf("  profiler-based : %6.2f%%\n",
+              util::mean_relative_error(prof_e, truths) * 100.0);
+  std::printf("  analytical SVR : %6.2f%%\n",
+              util::mean_relative_error(svr_e, truths) * 100.0);
+  std::printf("  linear (ablat.): %6.2f%%\n",
+              util::mean_relative_error(lin_e, truths) * 100.0);
+  std::printf("fitted SVR hyper-parameters: gamma=%.3g C=%.3g (paper: 0.1, 1e6)\n",
+              svr.fitted_config().gamma, svr.fitted_config().c);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 10 + the exploration-time accounting: NetCut's final selected
+// networks under both estimators, the accuracy improvement over the best
+// off-the-shelf real-time network, the number of retrained networks vs
+// exhaustive blockwise exploration (paper: 9 vs 148, a 95% reduction), and
+// the GPU-hour bill (paper: 6.7 h vs 183 h = 27x).
+#include "bench_common.hpp"
+
+#include <set>
+
+int main() {
+  using namespace netcut;
+  using namespace netcut::bench;
+
+  print_header("Fig 10: NetCut final selections & exploration speedup (deadline 0.9 ms)");
+
+  core::LatencyLab lab(lab_config());
+  const data::HandsDataset dataset(dataset_config());
+  core::TrnEvaluator evaluator(dataset, eval_config());
+  core::NetCut netcut(lab, evaluator);
+
+  // Estimators, trained exactly as in fig08/fig09.
+  const auto samples = collect_latency_samples(lab);
+  std::vector<core::LatencySample> train, test;
+  split_samples(samples, train, test);
+  core::AnalyticalEstimator svr(lab);
+  svr.fit(train);
+  core::ProfilerEstimator prof(lab);
+
+  // Reference: the best off-the-shelf network under the deadline.
+  std::vector<core::TradeoffPoint> offshelf;
+  for (zoo::NetId net : zoo::all_nets()) {
+    const int full = lab.full_cut(net);
+    offshelf.push_back({zoo::net_name(net), lab.measured_ms(net, full),
+                        evaluator.accuracy(net, full).angular_similarity});
+  }
+  const int ref = core::best_under_deadline(offshelf, kDeadlineMs);
+  const double ref_acc = offshelf[static_cast<std::size_t>(ref)].accuracy;
+  std::printf("best off-the-shelf under deadline: %s (%.3f ms, accuracy %.4f)\n\n",
+              offshelf[static_cast<std::size_t>(ref)].name.c_str(),
+              offshelf[static_cast<std::size_t>(ref)].latency_ms, ref_acc);
+
+  core::NetCutConfig cfg;
+  cfg.deadline_ms = kDeadlineMs;
+
+  std::set<std::string> retrained;
+  double netcut_hours = 0.0;
+
+  for (core::LatencyEstimator* est :
+       std::initializer_list<core::LatencyEstimator*>{&prof, &svr}) {
+    const core::NetCutResult r = netcut.run(*est, cfg);
+    std::printf("--- estimator: %s ---\n", r.estimator.c_str());
+    util::Table table({"proposal", "est_ms", "measured_ms", "accuracy", "meets", "rel-gain%"});
+    for (const core::NetCutProposal& p : r.proposals) {
+      table.add_row({p.trn.trn_name, util::Table::num(p.estimated_ms, 3),
+                     util::Table::num(p.trn.latency_ms, 3),
+                     util::Table::num(p.trn.accuracy, 4), p.meets_deadline ? "yes" : "no",
+                     util::Table::num((p.trn.accuracy - ref_acc) / ref_acc * 100.0, 2)});
+      if (retrained.insert(p.trn.trn_name).second) netcut_hours += p.trn.train_hours;
+    }
+    std::printf("%s", table.to_string().c_str());
+    const core::NetCutProposal& w = r.winner();
+    std::printf("selected: %s  accuracy %.4f  (%+.2f%% vs off-the-shelf)\n\n",
+                w.trn.trn_name.c_str(), w.trn.accuracy,
+                (w.trn.accuracy - ref_acc) / ref_acc * 100.0);
+  }
+
+  // Exploration-time accounting against exhaustive blockwise retraining.
+  double blockwise_hours = 0.0;
+  int blockwise_count = 0;
+  for (zoo::NetId net : zoo::all_nets()) {
+    const auto cuts = lab.blockwise(net);
+    for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+      blockwise_hours += lab.training_hours(net, cuts[k]);
+      ++blockwise_count;
+    }
+    blockwise_hours += lab.training_hours(net, lab.full_cut(net));  // the base nets too
+    ++blockwise_count;
+  }
+
+  std::printf("exploration accounting (trainer model: Tesla K20m class):\n");
+  std::printf("  blockwise exploration: %3d networks, %7.1f GPU-hours   [paper: 148, 183 h]\n",
+              blockwise_count, blockwise_hours);
+  std::printf("  NetCut (both estim.) : %3zu networks, %7.1f GPU-hours   [paper: 9, 6.7 h]\n",
+              retrained.size(), netcut_hours);
+  std::printf("  reduction in retrained networks: %.0f%%                 [paper: ~95%%]\n",
+              100.0 * (1.0 - static_cast<double>(retrained.size()) / blockwise_count));
+  std::printf("  exploration speedup: %.1fx                              [paper: 27x]\n",
+              blockwise_hours / netcut_hours);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels everything
+// else is built on, plus end-to-end inference of representative networks at
+// experiment resolution, the SVR fit, and the TRN construction path.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/trn.hpp"
+#include "data/hands.hpp"
+#include "ml/svr.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/network.hpp"
+#include "quant/qnetwork.hpp"
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace {
+
+using namespace netcut;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  const auto a = tensor::Tensor::randn(tensor::Shape{n, n}, rng);
+  const auto b = tensor::Tensor::randn(tensor::Shape{n, n}, rng);
+  tensor::Tensor c(tensor::Shape{n, n});
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv3x3(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  nn::Conv2D conv(c, c, 3, 1);
+  nn::he_init_conv(conv.weight(), rng);
+  const auto x = tensor::Tensor::randn(tensor::Shape::chw(c, 16, 16), rng);
+  for (auto _ : state) {
+    auto y = conv.forward({&x}, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv3x3)->Arg(16)->Arg(64);
+
+void BM_DepthwiseConv(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  nn::DepthwiseConv2D conv(c, 3, 1);
+  nn::he_init_conv(conv.weight(), rng);
+  const auto x = tensor::Tensor::randn(tensor::Shape::chw(c, 16, 16), rng);
+  for (auto _ : state) {
+    auto y = conv.forward({&x}, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_DepthwiseConv)->Arg(32)->Arg(128);
+
+void BM_Int8VsFp32Dense(benchmark::State& state) {
+  const bool int8 = state.range(0) == 1;
+  util::Rng rng(4);
+  nn::Dense dense(512, 128);
+  nn::xavier_init_dense(dense.weight(), rng);
+  const auto x = tensor::Tensor::uniform(tensor::Shape::vec(512), rng, 0.0f, 1.0f);
+  const quant::QuantParams p = quant::QuantParams::from_range(0.0f, 1.0f);
+  for (auto _ : state) {
+    if (int8) {
+      auto y = quant::int8_dense(dense, x, p);
+      benchmark::DoNotOptimize(y.data());
+    } else {
+      auto y = dense.forward({&x}, false);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+}
+BENCHMARK(BM_Int8VsFp32Dense)->Arg(0)->Arg(1);
+
+void BM_InferenceMobileNetV1(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::Graph g = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32);
+  nn::init_graph(g, rng);
+  nn::Network net(std::move(g));
+  const auto x = tensor::Tensor::randn(tensor::Shape::chw(3, 32, 32), rng, 0.5f);
+  for (auto _ : state) {
+    auto y = net.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_InferenceMobileNetV1);
+
+void BM_SvrFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform(0.0, 2.0);
+    x.push_back({t, t * t});
+    y.push_back(std::sin(3.0 * t));
+  }
+  ml::SvrConfig cfg;
+  cfg.gamma = 1.0;
+  cfg.c = 100.0;
+  for (auto _ : state) {
+    ml::Svr svr(cfg);
+    svr.fit(x, y);
+    benchmark::DoNotOptimize(svr.support_vector_count());
+  }
+}
+BENCHMARK(BM_SvrFit)->Arg(40)->Arg(120);
+
+void BM_TrnConstruction(benchmark::State& state) {
+  const nn::Graph trunk = zoo::build_trunk(zoo::NetId::kMobileNetV2_100, 224);
+  const auto cuts = core::blockwise_cutpoints(trunk);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const nn::Graph trn =
+        core::build_trn(trunk, cuts[cuts.size() / 2], core::HeadConfig{}, rng);
+    benchmark::DoNotOptimize(trn.node_count());
+  }
+}
+BENCHMARK(BM_TrnConstruction);
+
+void BM_HandsRender(benchmark::State& state) {
+  util::Rng rng(8);
+  for (auto _ : state) {
+    auto img = data::render_object(data::GraspType::kPowerSphere, 32, rng, 0.05);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_HandsRender);
+
+}  // namespace
+
+BENCHMARK_MAIN();

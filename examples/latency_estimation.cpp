@@ -1,0 +1,81 @@
+// Walkthrough of both latency estimators (Section V-B): profile one
+// network, inspect the per-layer table and the event-overhead artifact,
+// estimate a TRN with the ratio formula, then train the analytical SVR and
+// compare all three (profiler / SVR / linear) against measurement.
+#include <cstdio>
+
+#include "core/estimator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netcut;
+
+  core::LatencyLab lab;
+  const zoo::NetId net = zoo::NetId::kMobileNetV2_100;
+
+  // --- Profiler-based estimation (V-B1) ---
+  const hw::LatencyTable& table = lab.profile(net);
+  std::printf("profiled %s: %zu kernels, end-to-end %.3f ms, layer-sum %.3f ms\n",
+              table.network.c_str(), table.layers.size(), table.end_to_end_ms,
+              table.layer_sum_ms());
+  std::printf("event-timing overhead inflates the sum by %.1f%% -> the ratio formula\n\n",
+              (table.layer_sum_ms() / table.end_to_end_ms - 1.0) * 100.0);
+
+  std::printf("slowest five kernels:\n");
+  std::vector<hw::ProfiledLayer> sorted = table.layers;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.latency_ms > b.latency_ms; });
+  for (int i = 0; i < 5; ++i)
+    std::printf("  %-40s %.4f ms\n", sorted[static_cast<std::size_t>(i)].name.c_str(),
+                sorted[static_cast<std::size_t>(i)].latency_ms);
+
+  core::ProfilerEstimator prof(lab);
+
+  // --- Analytical estimation (V-B2) ---
+  std::vector<core::LatencySample> samples;
+  for (zoo::NetId n : zoo::all_nets())
+    for (int cut : lab.blockwise(n)) {
+      core::LatencySample s;
+      s.base = n;
+      s.cut_node = cut;
+      s.features = core::compute_trn_features(lab, n, cut);
+      s.measured_ms = lab.measured_ms(n, cut);
+      samples.push_back(std::move(s));
+    }
+  std::vector<core::LatencySample> train, test;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 5 == 2 ? train : test).push_back(samples[i]);
+
+  core::AnalyticalEstimator svr(lab);
+  svr.fit(train);
+  core::LinearEstimator lin(lab);
+  lin.fit(train);
+  std::printf("\nanalytical SVR trained on %zu TRN rows (features: base latency, GFLOPs,\n"
+              "Mparams, layer count, filter sizes)\n\n",
+              train.size());
+
+  util::Table out({"trn", "measured", "profiler", "svr", "linear"});
+  const auto cuts = lab.blockwise(net);
+  for (std::size_t i = 0; i < cuts.size(); i += 3) {
+    const int cut = cuts[i];
+    out.add_row({lab.name(net, cut), util::Table::num(lab.measured_ms(net, cut), 3),
+                 util::Table::num(prof.estimate_ms(net, cut), 3),
+                 util::Table::num(svr.estimate_ms(net, cut), 3),
+                 util::Table::num(lin.estimate_ms(net, cut), 3)});
+  }
+  std::printf("%s\n", out.to_string().c_str());
+
+  std::vector<double> truth, pe, ae, le;
+  for (const core::LatencySample& s : test) {
+    truth.push_back(s.measured_ms);
+    pe.push_back(prof.estimate_ms(s.base, s.cut_node));
+    ae.push_back(svr.predict(s.features));
+    le.push_back(lin.predict(s.features));
+  }
+  std::printf("held-out mean relative error: profiler %.2f%%, SVR %.2f%%, linear %.2f%%\n",
+              util::mean_relative_error(pe, truth) * 100.0,
+              util::mean_relative_error(ae, truth) * 100.0,
+              util::mean_relative_error(le, truth) * 100.0);
+  return 0;
+}

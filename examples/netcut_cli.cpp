@@ -1,0 +1,133 @@
+// Command-line front end for NetCut: pick a deadline and an estimator, get
+// the deadline-meeting TRN per network and the final selection.
+//
+//   netcut_cli [--deadline MS] [--estimator profiler|analytical]
+//              [--net NAME ...] [--fast]
+//
+// Example:
+//   ./build/examples/netcut_cli --deadline 0.6 --estimator analytical
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/netcut.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: netcut_cli [--deadline MS] [--estimator profiler|analytical]\n"
+      "                  [--net NAME ...] [--fast]\n"
+      "nets: ");
+  for (auto id : netcut::zoo::all_nets())
+    std::printf("%s ", netcut::zoo::net_name(id).c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netcut;
+
+  double deadline = 0.9;
+  std::string estimator_name = "profiler";
+  std::vector<zoo::NetId> nets;
+  bool fast = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--deadline" && i + 1 < argc) {
+      deadline = std::atof(argv[++i]);
+    } else if (arg == "--estimator" && i + 1 < argc) {
+      estimator_name = argv[++i];
+    } else if (arg == "--fast") {
+      fast = true;
+    } else if (arg == "--net" && i + 1 < argc) {
+      const std::string want = argv[++i];
+      bool found = false;
+      for (auto id : zoo::all_nets())
+        if (zoo::net_name(id) == want) {
+          nets.push_back(id);
+          found = true;
+        }
+      if (!found) {
+        std::printf("unknown network '%s'\n", want.c_str());
+        usage();
+        return 1;
+      }
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  core::LatencyLab lab;
+  data::HandsConfig data_cfg;
+  data_cfg.resolution = 24;
+  data_cfg.train_count = fast ? 120 : 300;
+  data_cfg.test_count = fast ? 60 : 120;
+  const data::HandsDataset dataset(data_cfg);
+
+  core::EvalConfig eval_cfg;
+  eval_cfg.resolution = 24;
+  eval_cfg.epochs = fast ? 8 : 16;
+  if (fast) {
+    eval_cfg.pretrained.source_images = 100;
+    eval_cfg.pretrained.epochs = 8;
+  }
+  core::TrnEvaluator evaluator(dataset, eval_cfg);
+
+  std::unique_ptr<core::LatencyEstimator> estimator;
+  core::AnalyticalEstimator analytical(lab);
+  core::ProfilerEstimator profiler(lab);
+  if (estimator_name == "analytical") {
+    // Fit on the blockwise latency sweep (the paper's 20% train split).
+    std::vector<core::LatencySample> train;
+    std::size_t i = 0;
+    for (zoo::NetId net : zoo::all_nets())
+      for (int cut : lab.blockwise(net)) {
+        if (i++ % 5 != 2) continue;
+        core::LatencySample s;
+        s.base = net;
+        s.cut_node = cut;
+        s.features = core::compute_trn_features(lab, net, cut);
+        s.measured_ms = lab.measured_ms(net, cut);
+        train.push_back(std::move(s));
+      }
+    analytical.fit(train);
+  } else if (estimator_name != "profiler") {
+    usage();
+    return 1;
+  }
+  core::LatencyEstimator& est =
+      estimator_name == "analytical" ? static_cast<core::LatencyEstimator&>(analytical)
+                                     : static_cast<core::LatencyEstimator&>(profiler);
+
+  std::printf("NetCut: deadline %.3f ms, estimator %s\n\n", deadline, est.name().c_str());
+  core::NetCut netcut(lab, evaluator);
+  core::NetCutConfig cfg;
+  cfg.deadline_ms = deadline;
+  cfg.networks = nets;
+  const core::NetCutResult result = netcut.run(est, cfg);
+
+  if (result.proposals.empty()) {
+    std::printf("no network can meet %.3f ms on this device\n", deadline);
+    return 1;
+  }
+
+  util::Table table({"proposal", "est_ms", "measured_ms", "accuracy", "top1", "GPU-h"});
+  for (const core::NetCutProposal& p : result.proposals)
+    table.add_row({p.trn.trn_name, util::Table::num(p.estimated_ms, 3),
+                   util::Table::num(p.trn.latency_ms, 3), util::Table::num(p.trn.accuracy, 4),
+                   util::Table::num(p.trn.top1, 3), util::Table::num(p.trn.train_hours, 2)});
+  std::printf("%s\n", table.to_string().c_str());
+  const auto& w = result.winner();
+  std::printf("selected: %s  (%.3f ms measured, accuracy %.4f)\n", w.trn.trn_name.c_str(),
+              w.trn.latency_ms, w.trn.accuracy);
+  std::printf("retrained %d networks, %.2f GPU-hours on the training-server model\n",
+              result.networks_retrained, result.exploration_hours);
+  return 0;
+}

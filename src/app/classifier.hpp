@@ -1,0 +1,91 @@
+// Trainable soft-label classifiers for the robotic hand's two sensing
+// paths: a small MLP over feature vectors (the EMG path and TRN heads) and
+// a visual classifier that pairs a frozen pseudo-pretrained trunk with a
+// retrained head — the deployable counterpart of core::TrnEvaluator's
+// accuracy protocol.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/emg.hpp"
+#include "data/hands.hpp"
+#include "data/pretrained.hpp"
+#include "nn/network.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::app {
+
+struct MlpConfig {
+  int hidden1 = 32;
+  int hidden2 = 16;
+  int classes = 5;
+  int epochs = 30;
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 7;
+};
+
+/// MLP emitting a probability distribution over grasp types. Trains on
+/// (feature vector, soft label) pairs with soft-target cross-entropy.
+class SoftClassifier {
+ public:
+  SoftClassifier(int features, MlpConfig config);
+
+  void fit(const std::vector<tensor::Tensor>& x, const std::vector<tensor::Tensor>& y);
+  /// Softmax probabilities.
+  tensor::Tensor predict(const tensor::Tensor& x) const;
+
+  bool trained() const { return trained_; }
+  int features() const { return features_; }
+
+ private:
+  tensor::Tensor standardize(const tensor::Tensor& x) const;
+
+  int features_;
+  MlpConfig config_;
+  std::unique_ptr<nn::Network> net_;
+  std::vector<float> mean_, stdev_;
+  bool trained_ = false;
+};
+
+/// The EMG intent classifier of Fig 2: SoftClassifier over 8-channel
+/// synthetic EMG features.
+class EmgClassifier {
+ public:
+  EmgClassifier(const data::EmgGenerator& generator, int train_samples, MlpConfig config);
+
+  tensor::Tensor predict(const tensor::Tensor& emg_features) const { return mlp_.predict(emg_features); }
+  double test_accuracy(const data::EmgGenerator& generator, int samples,
+                       std::uint64_t seed) const;
+
+ private:
+  SoftClassifier mlp_;
+};
+
+/// The visual grasp classifier: frozen trunk prefix (cut at a TRN cut site)
+/// + retrained head. Runs real inference on images.
+class VisualClassifier {
+ public:
+  /// Builds the trunk at the dataset resolution with pseudo-pretrained
+  /// weights (loaded from `weight_cache_dir` when available), calibrates
+  /// batch norms, and trains the head on the dataset's train split.
+  VisualClassifier(zoo::NetId base, int cut_node, const data::HandsDataset& dataset,
+                   MlpConfig head_config, const data::PretrainedConfig& pretrained,
+                   const std::string& weight_cache_dir = "netcut_weights");
+
+  tensor::Tensor predict(const tensor::Tensor& image) const;
+  double test_accuracy(const data::HandsDataset& dataset) const;
+
+  zoo::NetId base() const { return base_; }
+  int cut_node() const { return cut_node_; }
+
+ private:
+  tensor::Tensor features(const tensor::Tensor& image) const;
+
+  zoo::NetId base_;
+  int cut_node_;
+  std::unique_ptr<nn::Network> trunk_;
+  std::unique_ptr<SoftClassifier> head_;
+};
+
+}  // namespace netcut::app

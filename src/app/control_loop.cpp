@@ -1,0 +1,88 @@
+#include "app/control_loop.hpp"
+
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+
+namespace netcut::app {
+
+ControlLoop::ControlLoop(const VisualClassifier& vision, const EmgClassifier& emg,
+                         const data::EmgGenerator& emg_gen, double visual_latency_ms,
+                         ControlLoopConfig config)
+    : vision_(vision),
+      emg_(emg),
+      emg_gen_(emg_gen),
+      visual_latency_ms_(visual_latency_ms),
+      config_(config) {
+  if (visual_latency_ms <= 0) throw std::invalid_argument("ControlLoop: bad latency");
+}
+
+ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
+  util::Rng rng(util::derive_seed(config_.seed, "control-loop"));
+  ControlLoopReport report;
+
+  const double decision_time = config_.reach_duration_ms - config_.actuation_time_ms;
+  int total_frames = 0, total_missed = 0;
+  int correct = 0;
+  double sim_sum = 0.0;
+
+  // Test images grouped by primary grasp so each episode can stream frames
+  // of its intent object.
+  std::vector<std::vector<const data::Sample*>> by_class(data::kGraspCount);
+  for (const data::Sample& s : dataset.test())
+    by_class[static_cast<std::size_t>(static_cast<int>(s.primary))].push_back(&s);
+  for (const auto& v : by_class)
+    if (v.empty()) throw std::invalid_argument("ControlLoop: test split missing a class");
+
+  for (int ep = 0; ep < config_.episodes; ++ep) {
+    EpisodeResult er;
+    er.intent = static_cast<data::GraspType>(ep % data::kGraspCount);
+    const auto& pool = by_class[static_cast<std::size_t>(static_cast<int>(er.intent))];
+
+    EvidenceAccumulator acc(data::kGraspCount);
+    for (double t = 0.0; t <= decision_time; t += config_.frame_period_ms) {
+      // Visual frame: random test image of the intent object.
+      const data::Sample& frame =
+          *pool[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+      ++total_frames;
+
+      // Per-frame latency jitter around the measured device latency.
+      const double latency = visual_latency_ms_ * rng.lognormal(0.0, 0.015);
+      if (latency > config_.classifier_deadline_ms) {
+        ++er.frames_missed;
+        ++total_missed;
+      } else {
+        acc.observe(vision_.predict(frame.image), config_.vision_weight);
+        ++er.frames_used;
+      }
+
+      // EMG window for the same intent arrives every frame.
+      acc.observe(emg_.predict(emg_gen_.sample(er.intent, rng)), config_.emg_weight);
+    }
+
+    er.decision = acc.decision();
+    tensor::Tensor intent_label = data::make_label(er.intent, rng, 0.0);
+    er.angular_similarity = ml::angular_similarity(er.decision, intent_label);
+    int pred_top1 = 0, true_top1 = 0;
+    for (int c = 1; c < data::kGraspCount; ++c) {
+      if (er.decision[c] > er.decision[pred_top1]) pred_top1 = c;
+      if (intent_label[c] > intent_label[true_top1]) true_top1 = c;
+    }
+    er.top1_correct = pred_top1 == true_top1;
+    if (er.top1_correct) ++correct;
+    sim_sum += er.angular_similarity;
+    report.episodes.push_back(std::move(er));
+  }
+
+  const double n = static_cast<double>(report.episodes.size());
+  report.mean_angular_similarity = sim_sum / n;
+  report.top1_accuracy = static_cast<double>(correct) / n;
+  report.deadline_miss_rate =
+      total_frames > 0 ? static_cast<double>(total_missed) / total_frames : 0.0;
+  double frames = 0.0;
+  for (const EpisodeResult& er : report.episodes) frames += er.frames_used;
+  report.mean_frames_used = frames / n;
+  return report;
+}
+
+}  // namespace netcut::app

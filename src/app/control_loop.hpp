@@ -1,0 +1,63 @@
+// End-to-end control loop of the robotic prosthetic hand (Fig 2, Section
+// III): during a reach, palm-camera frames and EMG windows stream in; each
+// classifier emits a grasp distribution; fusion accumulates evidence; the
+// final decision must be ready before contact minus the actuation time.
+// The visual classifier's per-frame compute budget is the paper's 0.9 ms —
+// frames whose (simulated) inference latency exceeds it miss the fusion
+// window and are dropped.
+#pragma once
+
+#include "app/classifier.hpp"
+#include "app/fusion.hpp"
+#include "core/lab.hpp"
+#include "hw/measure.hpp"
+
+namespace netcut::app {
+
+struct ControlLoopConfig {
+  double reach_duration_ms = 1500.0;  // hand leaves rest -> contact
+  double frame_period_ms = 50.0;      // palm camera at 20 fps
+  double actuation_time_ms = 300.0;   // hand needs this long to form a grasp
+  double classifier_deadline_ms = 0.9;
+  double emg_weight = 0.6;            // EMG is noisier: weight it below vision
+  double vision_weight = 1.0;
+  int episodes = 50;
+  std::uint64_t seed = 2025;
+};
+
+struct EpisodeResult {
+  data::GraspType intent;
+  tensor::Tensor decision;      // fused distribution at decision time
+  double angular_similarity;    // vs the intent's label distribution
+  bool top1_correct;
+  int frames_used = 0;
+  int frames_missed = 0;        // dropped for missing the compute deadline
+};
+
+struct ControlLoopReport {
+  std::vector<EpisodeResult> episodes;
+  double mean_angular_similarity = 0.0;
+  double top1_accuracy = 0.0;
+  double deadline_miss_rate = 0.0;   // fraction of frames dropped
+  double mean_frames_used = 0.0;
+};
+
+class ControlLoop {
+ public:
+  /// `visual_latency_ms` is the classifier's measured device latency (from
+  /// the LatencyLab); per-frame jitter is drawn around it.
+  ControlLoop(const VisualClassifier& vision, const EmgClassifier& emg,
+              const data::EmgGenerator& emg_gen, double visual_latency_ms,
+              ControlLoopConfig config);
+
+  ControlLoopReport run(const data::HandsDataset& dataset);
+
+ private:
+  const VisualClassifier& vision_;
+  const EmgClassifier& emg_;
+  const data::EmgGenerator& emg_gen_;
+  double visual_latency_ms_;
+  ControlLoopConfig config_;
+};
+
+}  // namespace netcut::app

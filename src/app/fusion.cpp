@@ -1,0 +1,55 @@
+#include "app/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netcut::app {
+
+tensor::Tensor fuse(const std::vector<tensor::Tensor>& distributions,
+                    const std::vector<double>& weights) {
+  if (distributions.empty() || distributions.size() != weights.size())
+    throw std::invalid_argument("fuse: bad inputs");
+  EvidenceAccumulator acc(static_cast<int>(distributions[0].numel()));
+  for (std::size_t i = 0; i < distributions.size(); ++i)
+    acc.observe(distributions[i], weights[i]);
+  return acc.decision();
+}
+
+EvidenceAccumulator::EvidenceAccumulator(int classes)
+    : classes_(classes), log_evidence_(static_cast<std::size_t>(classes), 0.0) {
+  if (classes <= 0) throw std::invalid_argument("EvidenceAccumulator: bad class count");
+}
+
+void EvidenceAccumulator::observe(const tensor::Tensor& distribution, double weight) {
+  if (distribution.numel() != classes_)
+    throw std::invalid_argument("EvidenceAccumulator::observe: class count mismatch");
+  for (int c = 0; c < classes_; ++c)
+    log_evidence_[static_cast<std::size_t>(c)] +=
+        weight * std::log(static_cast<double>(distribution[c]) + 1e-9);
+  ++observations_;
+}
+
+tensor::Tensor EvidenceAccumulator::decision() const {
+  tensor::Tensor out(tensor::Shape::vec(classes_));
+  if (observations_ == 0) {
+    out.fill(1.0f / static_cast<float>(classes_));
+    return out;
+  }
+  const double m = *std::max_element(log_evidence_.begin(), log_evidence_.end());
+  double z = 0.0;
+  for (int c = 0; c < classes_; ++c) {
+    const double e = std::exp(log_evidence_[static_cast<std::size_t>(c)] - m);
+    out[c] = static_cast<float>(e);
+    z += e;
+  }
+  for (int c = 0; c < classes_; ++c) out[c] = static_cast<float>(out[c] / z);
+  return out;
+}
+
+void EvidenceAccumulator::reset() {
+  observations_ = 0;
+  std::fill(log_evidence_.begin(), log_evidence_.end(), 0.0);
+}
+
+}  // namespace netcut::app

@@ -1,0 +1,37 @@
+// Decision fusion (Section III-A): the EMG and visual classifiers each emit
+// a probability distribution over grasp types; fusion combines them (and
+// accumulates evidence across frames) into the final actuation decision.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace netcut::app {
+
+/// Weighted product-of-experts: normalize( Π p_i ^ w_i ). With equal
+/// weights this is the geometric-mean opinion pool.
+tensor::Tensor fuse(const std::vector<tensor::Tensor>& distributions,
+                    const std::vector<double>& weights);
+
+/// Running fusion across control-loop frames.
+class EvidenceAccumulator {
+ public:
+  explicit EvidenceAccumulator(int classes);
+
+  /// Multiply in one prediction (log-domain accumulation).
+  void observe(const tensor::Tensor& distribution, double weight = 1.0);
+
+  /// Current fused distribution (uniform before any observation).
+  tensor::Tensor decision() const;
+
+  int observations() const { return observations_; }
+  void reset();
+
+ private:
+  int classes_;
+  int observations_ = 0;
+  std::vector<double> log_evidence_;
+};
+
+}  // namespace netcut::app

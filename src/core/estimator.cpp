@@ -1,0 +1,112 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/conv.hpp"
+
+namespace netcut::core {
+
+TrnFeatures compute_trn_features(LatencyLab& lab, zoo::NetId base, int cut_node) {
+  const nn::Graph trn = lab.build_native_trn(base, cut_node);
+  TrnFeatures f;
+  const nn::LayerCost cost = trn.total_cost();
+  f.base_latency_ms = lab.measured_ms(base, lab.full_cut(base));
+  f.gflops = static_cast<double>(cost.flops) / 1e9;
+  f.mparams = static_cast<double>(cost.params) / 1e6;
+  f.layer_count = static_cast<double>(trn.layer_count());
+  double filter_sum = 0.0;
+  for (int id = 1; id < trn.node_count(); ++id) {
+    const nn::Layer& layer = *trn.node(id).layer;
+    if (layer.kind() == nn::LayerKind::kConv2D) {
+      const auto& conv = static_cast<const nn::Conv2D&>(layer);
+      filter_sum += conv.kernel_h() * conv.kernel_w();
+    } else if (layer.kind() == nn::LayerKind::kDepthwiseConv2D) {
+      const auto& conv = static_cast<const nn::DepthwiseConv2D&>(layer);
+      filter_sum += conv.kernel() * conv.kernel();
+    }
+  }
+  f.filter_size_sum = filter_sum;
+  return f;
+}
+
+ProfilerEstimator::ProfilerEstimator(LatencyLab& lab) : lab_(lab) {}
+
+double ProfilerEstimator::estimate_ms(zoo::NetId base, int cut_node) {
+  const hw::LatencyTable& table = lab_.profile(base);
+  const int trunk_last = lab_.trunk_last_node(base);
+
+  // Σ over trunk layers ("excluding classification layers"), and over the
+  // layers the cut removes (trunk nodes after the cut site).
+  double sum_all = 0.0;
+  double sum_removed = 0.0;
+  for (const hw::ProfiledLayer& l : table.layers) {
+    if (l.node > trunk_last) continue;  // head row
+    sum_all += l.latency_ms;
+    if (l.node > cut_node) sum_removed += l.latency_ms;
+  }
+  if (sum_all <= 0.0) throw std::logic_error("ProfilerEstimator: empty profile");
+  return table.end_to_end_ms * (1.0 - sum_removed / sum_all);
+}
+
+AnalyticalEstimator::AnalyticalEstimator(LatencyLab& lab, bool grid_search,
+                                         ml::SvrConfig base_config)
+    : lab_(lab), grid_search_(grid_search), base_config_(base_config),
+      fitted_config_(base_config) {}
+
+void AnalyticalEstimator::fit(const std::vector<LatencySample>& train) {
+  if (train.size() < 3) throw std::invalid_argument("AnalyticalEstimator::fit: too few rows");
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  x.reserve(train.size());
+  for (const LatencySample& s : train) {
+    x.push_back(s.features.as_row());
+    y.push_back(s.measured_ms);
+  }
+  scaler_.fit(x);
+  const std::vector<std::vector<double>> xs = scaler_.transform(x);
+
+  fitted_config_ = base_config_;
+  if (grid_search_) {
+    const int folds = std::min<int>(10, static_cast<int>(xs.size()));
+    const auto points = ml::grid_search_svr(
+        xs, y, {1e-3, 1e-2, 1e-1, 1.0, 1e1}, {1e0, 1e2, 1e4, 1e6}, folds, 2024);
+    fitted_config_.gamma = points.front().gamma;
+    fitted_config_.c = points.front().c;
+  }
+  svr_ = std::make_unique<ml::Svr>(fitted_config_);
+  svr_->fit(xs, y);
+}
+
+double AnalyticalEstimator::predict(const TrnFeatures& f) const {
+  if (!svr_) throw std::logic_error("AnalyticalEstimator: predict before fit");
+  return svr_->predict(scaler_.transform(f.as_row()));
+}
+
+double AnalyticalEstimator::estimate_ms(zoo::NetId base, int cut_node) {
+  return predict(compute_trn_features(lab_, base, cut_node));
+}
+
+LinearEstimator::LinearEstimator(LatencyLab& lab) : lab_(lab) {}
+
+void LinearEstimator::fit(const std::vector<LatencySample>& train) {
+  if (train.size() < 3) throw std::invalid_argument("LinearEstimator::fit: too few rows");
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const LatencySample& s : train) {
+    x.push_back(s.features.as_row());
+    y.push_back(s.measured_ms);
+  }
+  scaler_.fit(x);
+  model_.fit(scaler_.transform(x), y);
+}
+
+double LinearEstimator::predict(const TrnFeatures& f) const {
+  return model_.predict(scaler_.transform(f.as_row()));
+}
+
+double LinearEstimator::estimate_ms(zoo::NetId base, int cut_node) {
+  return predict(compute_trn_features(lab_, base, cut_node));
+}
+
+}  // namespace netcut::core

@@ -1,0 +1,243 @@
+#include "core/evaluator.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "core/pretrained_cache.hpp"
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+#include "ml/model_selection.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace netcut::core {
+
+namespace {
+
+/// Channel means of a CHW activation — the GlobalAvgPool feature vector.
+tensor::Tensor gap(const tensor::Tensor& act) {
+  const int C = act.shape()[0];
+  const int hw = act.shape()[1] * act.shape()[2];
+  tensor::Tensor out(tensor::Shape::vec(C));
+  for (int c = 0; c < C; ++c) {
+    const float* chan = act.data() + static_cast<std::int64_t>(c) * hw;
+    double s = 0.0;
+    for (int i = 0; i < hw; ++i) s += chan[i];
+    out[c] = static_cast<float>(s / hw);
+  }
+  return out;
+}
+
+std::uint64_t hash_config(const EvalConfig& c, const data::HandsConfig& d) {
+  std::ostringstream os;
+  os << c.resolution << '|' << c.seed << '|' << c.head.classes << '|' << c.head.hidden1 << '|'
+     << c.head.hidden2 << '|' << c.epochs << '|' << c.learning_rate << '|'
+     << c.calibration_images << '|' << pretrained_config_hash(c.pretrained) << '|'
+     << d.train_count << '|' << d.test_count << '|' << d.seed << '|' << d.resolution;
+  return util::derive_seed(0xE7A1uLL, os.str());
+}
+
+}  // namespace
+
+TrnEvaluator::TrnEvaluator(const data::HandsDataset& dataset, EvalConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  if (dataset_.config().resolution != config_.resolution)
+    throw std::invalid_argument("TrnEvaluator: dataset/evaluator resolution mismatch");
+  config_hash_ = hash_config(config_, dataset_.config());
+}
+
+TrnEvaluator::NetState& TrnEvaluator::state(zoo::NetId base) {
+  auto it = states_.find(base);
+  if (it != states_.end()) return it->second;
+
+  NetState st;
+  nn::Graph trunk = pretrained_trunk(base, config_.resolution, config_.pretrained,
+                                     config_.weight_cache_dir);
+  st.net = std::make_unique<nn::Network>(std::move(trunk));
+
+  // Optional BatchNorm re-calibration on a train subset (0 keeps the
+  // statistics the pretrained trunk shipped with).
+  if (config_.calibration_images > 0) {
+    const auto calib = dataset_.calibration_set(
+        static_cast<double>(config_.calibration_images) /
+            static_cast<double>(dataset_.train().size()),
+        config_.seed);
+    std::vector<const tensor::Tensor*> images;
+    for (const data::Sample* s : calib) images.push_back(&s->image);
+    data::calibrate_batchnorm(*st.net, images);
+  }
+
+  st.cutpoints = iterative_cutpoints(st.net->graph());
+
+  // One pass per image, harvesting GAP features at every cut site.
+  auto harvest = [&](const std::vector<data::Sample>& samples,
+                     std::map<int, std::vector<tensor::Tensor>>& into) {
+    for (const data::Sample& s : samples) {
+      const std::vector<tensor::Tensor> acts =
+          st.net->forward_collect(s.image, st.cutpoints, /*train=*/false);
+      for (std::size_t k = 0; k < st.cutpoints.size(); ++k)
+        into[st.cutpoints[k]].push_back(gap(acts[k]));
+    }
+  };
+  harvest(dataset_.train(), st.train_features);
+  harvest(dataset_.test(), st.test_features);
+
+  return states_.emplace(base, std::move(st)).first->second;
+}
+
+const std::vector<int>& TrnEvaluator::cutpoints(zoo::NetId base) {
+  // Graph structure (and so node ids) is resolution-independent, so this
+  // must not trigger the expensive feature-extraction path.
+  auto it = structure_.find(base);
+  if (it == structure_.end()) {
+    const nn::Graph trunk = zoo::build_trunk(base, config_.resolution);
+    it = structure_.emplace(base, iterative_cutpoints(trunk)).first;
+  }
+  return it->second;
+}
+
+int TrnEvaluator::full_cut(zoo::NetId base) { return cutpoints(base).back(); }
+
+std::string TrnEvaluator::cache_key(zoo::NetId base, int cut_node) const {
+  return zoo::net_name(base) + "|" + std::to_string(cut_node) + "|" +
+         std::to_string(config_hash_);
+}
+
+void TrnEvaluator::load_cache() {
+  cache_loaded_ = true;
+  if (config_.cache_path.empty()) return;
+  std::ifstream in(config_.cache_path);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    AccuracyResult r;
+    if (std::getline(ls, key, ',') && (ls >> r.angular_similarity) && ls.get() == ',' &&
+        (ls >> r.top1))
+      cache_[key] = r;
+  }
+}
+
+void TrnEvaluator::append_cache(const std::string& key, const AccuracyResult& r) {
+  if (config_.cache_path.empty()) return;
+  std::ofstream out(config_.cache_path, std::ios::app);
+  out.precision(17);  // lossless double round trip
+  out << key << ',' << r.angular_similarity << ',' << r.top1 << '\n';
+}
+
+AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {
+  if (!cache_loaded_) load_cache();
+  const std::string key = cache_key(base, cut_node);
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  NetState& st = state(base);
+  const auto train_it = st.train_features.find(cut_node);
+  if (train_it == st.train_features.end())
+    throw std::invalid_argument("TrnEvaluator::accuracy: node " + std::to_string(cut_node) +
+                                " is not a legal cut site for " + zoo::net_name(base));
+  const auto& train_x = train_it->second;
+  const auto& test_x = st.test_features.at(cut_node);
+
+  std::vector<tensor::Tensor> train_y, test_y;
+  train_y.reserve(dataset_.train().size());
+  for (const data::Sample& s : dataset_.train()) train_y.push_back(s.label);
+  test_y.reserve(dataset_.test().size());
+  for (const data::Sample& s : dataset_.test()) test_y.push_back(s.label);
+
+  const std::uint64_t seed =
+      util::derive_seed(config_.seed, key);
+  const AccuracyResult r = train_head_on_features(train_x, train_y, test_x, test_y, seed);
+  cache_[key] = r;
+  append_cache(key, r);
+  return r;
+}
+
+AccuracyResult TrnEvaluator::train_head_on_features(
+    const std::vector<tensor::Tensor>& train_x, const std::vector<tensor::Tensor>& train_y,
+    const std::vector<tensor::Tensor>& test_x, const std::vector<tensor::Tensor>& test_y,
+    std::uint64_t seed) const {
+  if (train_x.empty() || train_x.size() != train_y.size() || test_x.size() != test_y.size())
+    throw std::invalid_argument("train_head_on_features: bad dataset");
+  const int features = static_cast<int>(train_x[0].numel());
+
+  // Standardize features (fit on train) for stable head optimization.
+  std::vector<double> mean(static_cast<std::size_t>(features), 0.0);
+  std::vector<double> stdev(static_cast<std::size_t>(features), 0.0);
+  for (const tensor::Tensor& x : train_x)
+    for (int k = 0; k < features; ++k) mean[static_cast<std::size_t>(k)] += x[k];
+  for (int k = 0; k < features; ++k)
+    mean[static_cast<std::size_t>(k)] /= static_cast<double>(train_x.size());
+  for (const tensor::Tensor& x : train_x)
+    for (int k = 0; k < features; ++k) {
+      const double d = x[k] - mean[static_cast<std::size_t>(k)];
+      stdev[static_cast<std::size_t>(k)] += d * d;
+    }
+  for (int k = 0; k < features; ++k) {
+    stdev[static_cast<std::size_t>(k)] =
+        std::sqrt(stdev[static_cast<std::size_t>(k)] / static_cast<double>(train_x.size()));
+    if (stdev[static_cast<std::size_t>(k)] < 1e-8) stdev[static_cast<std::size_t>(k)] = 1.0;
+  }
+  auto standardize = [&](const tensor::Tensor& x) {
+    tensor::Tensor out(tensor::Shape::vec(features));
+    for (int k = 0; k < features; ++k)
+      out[k] = static_cast<float>((x[k] - mean[static_cast<std::size_t>(k)]) /
+                                  stdev[static_cast<std::size_t>(k)]);
+    return out;
+  };
+
+  // Head as a logits network (softmax applied at evaluation).
+  util::Rng rng(seed);
+  nn::Graph g;
+  int x = g.add_input(tensor::Shape::vec(features));
+  auto fc1 = std::make_unique<nn::Dense>(features, config_.head.hidden1);
+  nn::xavier_init_dense(fc1->weight(), rng);
+  x = g.add(std::move(fc1), {x}, "fc1");
+  x = g.add(std::make_unique<nn::ReLU>(false), {x}, "relu1");
+  auto fc2 = std::make_unique<nn::Dense>(config_.head.hidden1, config_.head.hidden2);
+  nn::xavier_init_dense(fc2->weight(), rng);
+  x = g.add(std::move(fc2), {x}, "fc2");
+  x = g.add(std::make_unique<nn::ReLU>(false), {x}, "relu2");
+  auto fc3 = std::make_unique<nn::Dense>(config_.head.hidden2, config_.head.classes);
+  nn::xavier_init_dense(fc3->weight(), rng);
+  g.add(std::move(fc3), {x}, "logits");
+  nn::Network head(std::move(g));
+
+  nn::Adam opt(config_.learning_rate);
+  opt.bind(head.params(), head.grads());
+
+  std::vector<tensor::Tensor> std_train;
+  std_train.reserve(train_x.size());
+  for (const tensor::Tensor& t : train_x) std_train.push_back(standardize(t));
+
+  const int n = static_cast<int>(std_train.size());
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<int> order = rng.permutation(n);
+    for (int i : order) {
+      head.zero_grads();
+      const tensor::Tensor logits =
+          head.forward(std_train[static_cast<std::size_t>(i)], /*train=*/true);
+      const nn::loss::LossResult lr =
+          nn::loss::soft_cross_entropy(logits, train_y[static_cast<std::size_t>(i)]);
+      head.backward(lr.grad);
+      opt.step();
+    }
+  }
+
+  std::vector<tensor::Tensor> predictions;
+  predictions.reserve(test_x.size());
+  for (const tensor::Tensor& t : test_x)
+    predictions.push_back(nn::softmax(head.forward(standardize(t), false)));
+
+  AccuracyResult r;
+  r.angular_similarity = ml::mean_angular_similarity(predictions, test_y);
+  r.top1 = ml::top1_agreement(predictions, test_y);
+  return r;
+}
+
+}  // namespace netcut::core

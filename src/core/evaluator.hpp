@@ -1,0 +1,98 @@
+// TRN accuracy evaluation — the transfer-learning retraining loop.
+//
+// For each base network the evaluator builds the trunk once at the
+// experiment resolution, installs pseudo-pretrained weights, calibrates
+// batch norms, and runs every train/test image through it a single time,
+// harvesting GlobalAvgPool features at *every* candidate cut site. Each
+// TRN's head (2x FC/ReLU + FC, trained on logits with soft-target
+// cross-entropy) is then retrained for real on those cached features —
+// mathematically the paper's frozen-trunk transfer phase, at a cost that
+// fits one CPU core. Accuracy is mean angular similarity on the held-out
+// test set (Section III-A).
+//
+// Results are memoized to a CSV cache keyed by a config hash, so the bench
+// suite reruns instantly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trn.hpp"
+#include "data/hands.hpp"
+#include "data/pretrained.hpp"
+#include "nn/network.hpp"
+
+namespace netcut::core {
+
+struct EvalConfig {
+  int resolution = 32;
+  std::uint64_t seed = 42;
+  HeadConfig head;
+  int epochs = 20;
+  double learning_rate = 1e-3;
+  int calibration_images = 25;  // BN re-calibration images (0: keep pretrained stats)
+  data::PretrainedConfig pretrained;
+  /// Accuracy memo file; empty string disables caching.
+  std::string cache_path = "netcut_accuracy_cache.csv";
+  /// Directory for pretrained-trunk weight files; empty disables caching
+  /// (every evaluator instance then re-pretrains, which is slow).
+  std::string weight_cache_dir = "netcut_weights";
+};
+
+struct AccuracyResult {
+  double angular_similarity = 0.0;  // the paper's accuracy metric
+  double top1 = 0.0;
+};
+
+class TrnEvaluator {
+ public:
+  TrnEvaluator(const data::HandsDataset& dataset, EvalConfig config);
+
+  /// Accuracy of the TRN cut at `cut_node` (a trunk node id; use
+  /// full_cut(base) for the untrimmed network). Memoized.
+  AccuracyResult accuracy(zoo::NetId base, int cut_node);
+
+  /// Cut node id representing "no removal" for this base network.
+  int full_cut(zoo::NetId base);
+
+  /// All legal cut sites (output dominators) of the base trunk at the
+  /// evaluation resolution; node ids are identical at any resolution.
+  const std::vector<int>& cutpoints(zoo::NetId base);
+
+  const EvalConfig& config() const { return config_; }
+  const data::HandsDataset& dataset() const { return dataset_; }
+
+  /// Direct head training on explicit feature vectors (exposed for tests
+  /// and the EMG classifier, which shares the training loop).
+  AccuracyResult train_head_on_features(const std::vector<tensor::Tensor>& train_x,
+                                        const std::vector<tensor::Tensor>& train_y,
+                                        const std::vector<tensor::Tensor>& test_x,
+                                        const std::vector<tensor::Tensor>& test_y,
+                                        std::uint64_t seed) const;
+
+ private:
+  struct NetState {
+    std::unique_ptr<nn::Network> net;  // eval-res trunk, weights + calibrated BNs
+    std::vector<int> cutpoints;        // dominators, depth order
+    // GAP features per cut node id, aligned with dataset train/test order.
+    std::map<int, std::vector<tensor::Tensor>> train_features;
+    std::map<int, std::vector<tensor::Tensor>> test_features;
+  };
+
+  NetState& state(zoo::NetId base);
+  std::string cache_key(zoo::NetId base, int cut_node) const;
+  void load_cache();
+  void append_cache(const std::string& key, const AccuracyResult& r);
+
+  const data::HandsDataset& dataset_;
+  EvalConfig config_;
+  std::uint64_t config_hash_;
+  std::map<zoo::NetId, NetState> states_;
+  std::map<zoo::NetId, std::vector<int>> structure_;  // cutpoints w/o features
+  std::map<std::string, AccuracyResult> cache_;
+  bool cache_loaded_ = false;
+};
+
+}  // namespace netcut::core

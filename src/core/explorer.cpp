@@ -1,0 +1,66 @@
+#include "core/explorer.hpp"
+
+namespace netcut::core {
+
+BlockwiseExplorer::BlockwiseExplorer(LatencyLab& lab, TrnEvaluator& evaluator)
+    : lab_(lab), evaluator_(evaluator) {}
+
+Candidate BlockwiseExplorer::evaluate_cut(zoo::NetId base, int cut_node, int blocks_removed) {
+  Candidate c;
+  c.base = base;
+  c.base_name = zoo::net_name(base);
+  c.trn_name = lab_.name(base, cut_node);
+  c.cut_node = cut_node;
+  c.blocks_removed = blocks_removed;
+  c.layers_removed = lab_.layers_removed(base, cut_node);
+  c.layers_remaining = lab_.layers_remaining(base, cut_node);
+  c.latency_ms = lab_.measured_ms(base, cut_node);
+  const AccuracyResult acc = evaluator_.accuracy(base, cut_node);
+  c.accuracy = acc.angular_similarity;
+  c.top1 = acc.top1;
+  c.train_hours = lab_.training_hours(base, cut_node);
+  return c;
+}
+
+std::vector<Candidate> BlockwiseExplorer::explore(zoo::NetId base, bool include_full) {
+  const std::vector<int>& cuts = lab_.blockwise(base);
+  std::vector<Candidate> out;
+  if (include_full) out.push_back(evaluate_cut(base, lab_.full_cut(base), 0));
+  const int blocks = static_cast<int>(cuts.size());
+  // Removing the last k blocks keeps blocks 0..B-1-k; always keep >= 1.
+  for (int k = 1; k <= blocks - 1; ++k)
+    out.push_back(evaluate_cut(base, cuts[static_cast<std::size_t>(blocks - 1 - k)], k));
+  return out;
+}
+
+std::vector<Candidate> BlockwiseExplorer::explore_all(bool include_full) {
+  std::vector<Candidate> out;
+  for (zoo::NetId id : zoo::all_nets()) {
+    std::vector<Candidate> per = explore(id, include_full);
+    out.insert(out.end(), per.begin(), per.end());
+  }
+  return out;
+}
+
+std::vector<Candidate> BlockwiseExplorer::explore_iterative(zoo::NetId base,
+                                                            bool include_full) {
+  const std::vector<int>& cuts = lab_.iterative(base);
+  std::vector<Candidate> out;
+  const int n = static_cast<int>(cuts.size());
+  // cuts.back() is the trunk output; earlier entries remove progressively
+  // more layers. Keep at least the first dominator.
+  for (int i = n - 1; i >= 1; --i) {
+    const bool is_full = i == n - 1;
+    if (is_full && !include_full) continue;
+    out.push_back(evaluate_cut(base, cuts[static_cast<std::size_t>(i)], is_full ? 0 : -1));
+  }
+  return out;
+}
+
+double BlockwiseExplorer::total_train_hours(const std::vector<Candidate>& candidates) {
+  double h = 0.0;
+  for (const Candidate& c : candidates) h += c.train_hours;
+  return h;
+}
+
+}  // namespace netcut::core

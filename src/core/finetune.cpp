@@ -1,0 +1,90 @@
+#include "core/finetune.hpp"
+
+#include "ml/metrics.hpp"
+#include "nn/activation.hpp"
+#include "nn/loss.hpp"
+#include "nn/norm.hpp"
+#include "nn/optimizer.hpp"
+
+namespace netcut::core {
+
+namespace {
+
+AccuracyResult evaluate(nn::Network& net, const data::HandsDataset& dataset) {
+  std::vector<tensor::Tensor> preds, labels;
+  preds.reserve(dataset.test().size());
+  for (const data::Sample& s : dataset.test()) {
+    preds.push_back(nn::softmax(net.forward(s.image, false)));
+    labels.push_back(s.label);
+  }
+  AccuracyResult r;
+  r.angular_similarity = ml::mean_angular_similarity(preds, labels);
+  r.top1 = ml::top1_agreement(preds, labels);
+  return r;
+}
+
+double run_epochs(nn::Network& net, const data::HandsDataset& dataset, nn::Optimizer& opt,
+                  int epochs, util::Rng& rng) {
+  const int n = static_cast<int>(dataset.train().size());
+  double last = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    last = 0.0;
+    for (int i : rng.permutation(n)) {
+      const data::Sample& s = dataset.train()[static_cast<std::size_t>(i)];
+      net.zero_grads();
+      const tensor::Tensor logits = net.forward(s.image, true);
+      const auto lr = nn::loss::soft_cross_entropy(logits, s.label);
+      net.backward(lr.grad);
+      opt.step();
+      last += lr.value;
+    }
+    last /= n;
+  }
+  return last;
+}
+
+}  // namespace
+
+FinetuneResult finetune_trn(const nn::Graph& pretrained_trunk, int cut_node,
+                            const data::HandsDataset& dataset,
+                            const FinetuneConfig& config) {
+  util::Rng rng(util::derive_seed(config.seed, "finetune"));
+  HeadConfig head = config.head;
+  head.with_softmax = false;  // train on logits; softmax applied in evaluate()
+  nn::Graph trn = build_trn(pretrained_trunk, cut_node, head, rng);
+  const int trunk_nodes = pretrained_trunk.prefix(cut_node).node_count();
+  nn::Network net(std::move(trn));
+
+  // Fine-tuning regime: BatchNorm statistics frozen (the pretrained stats).
+  for (int id = 1; id < net.graph().node_count(); ++id) {
+    nn::Layer& layer = *net.graph().node(id).layer;
+    if (layer.kind() == nn::LayerKind::kBatchNorm)
+      static_cast<nn::BatchNorm&>(layer).set_freeze_stats(true);
+  }
+
+  FinetuneResult result;
+
+  // Stage 1: head only (trunk frozen by simply not binding its params).
+  {
+    std::vector<tensor::Tensor*> params, grads;
+    for (int id = trunk_nodes; id < net.graph().node_count(); ++id) {
+      for (tensor::Tensor* p : net.graph().node(id).layer->params()) params.push_back(p);
+      for (tensor::Tensor* g : net.graph().node(id).layer->grads()) grads.push_back(g);
+    }
+    nn::Adam opt(config.head_lr);
+    opt.bind(std::move(params), std::move(grads));
+    result.stage1_final_loss = run_epochs(net, dataset, opt, config.head_epochs, rng);
+  }
+  result.after_head = evaluate(net, dataset);
+
+  // Stage 2: everything, at the lower rate.
+  if (config.full_epochs > 0) {
+    nn::Adam opt(config.full_lr);
+    opt.bind(net.params(), net.grads());
+    result.stage2_final_loss = run_epochs(net, dataset, opt, config.full_epochs, rng);
+  }
+  result.after_full = evaluate(net, dataset);
+  return result;
+}
+
+}  // namespace netcut::core

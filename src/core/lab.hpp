@@ -1,0 +1,95 @@
+// LatencyLab: the native-resolution side of the experiments. Owns the
+// simulated device, the measurement protocol, the per-layer profiler and
+// the training-time model, plus a cache of native-resolution trunks, and
+// answers every latency/FLOPs/GPU-hour question about a (base, cut) pair.
+//
+// Node ids are resolution-independent, so cut sites computed by the
+// evaluator at the experiment resolution address the same layers here.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trn.hpp"
+#include "hw/measure.hpp"
+#include "hw/profiler.hpp"
+#include "hw/trainer_model.hpp"
+
+namespace netcut::core {
+
+struct LabConfig {
+  hw::DeviceConfig device;
+  hw::MeasureConfig measure;
+  hw::ProfilerConfig profiler;
+  hw::TrainerConfig trainer;
+  HeadConfig head;
+  hw::Precision precision = hw::Precision::kInt8;  // deployment optimizations on
+  bool fuse = true;
+};
+
+class LatencyLab {
+ public:
+  explicit LatencyLab(LabConfig config = {});
+
+  const LabConfig& config() const { return config_; }
+  const hw::DeviceModel& device() const { return device_; }
+
+  /// Blockwise cut sites of the base trunk, depth order.
+  const std::vector<int>& blockwise(zoo::NetId base);
+  /// Per-layer (dominator) cut sites.
+  const std::vector<int>& iterative(zoo::NetId base);
+  /// Cut representing the untrimmed network.
+  int full_cut(zoo::NetId base);
+
+  /// Measured latency (full protocol, with noise) of the TRN at native
+  /// resolution, trunk cut + transfer head, under the lab's precision and
+  /// fusion settings. Memoized per cut.
+  double measured_ms(zoo::NetId base, int cut_node);
+
+  /// Noise-free model latency (ground truth underlying measured_ms).
+  double true_ms(zoo::NetId base, int cut_node);
+
+  /// Per-layer profile of the *full* base network (one table per network is
+  /// all the profiler-based estimator needs).
+  const hw::LatencyTable& profile(zoo::NetId base);
+
+  /// Last trunk node id of the full base network graph (profiled tables
+  /// cover trunk + head; estimators only reason over trunk rows).
+  int trunk_last_node(zoo::NetId base);
+
+  /// GPU-hours to retrain this TRN on the training server model.
+  double training_hours(zoo::NetId base, int cut_node);
+
+  /// TRN graph at native resolution (trunk prefix + head). Exposed for
+  /// feature computation and the quantization example.
+  nn::Graph build_native_trn(zoo::NetId base, int cut_node);
+
+  /// Paper-style TRN name ("ResNet50/113").
+  std::string name(zoo::NetId base, int cut_node);
+
+  /// Trunk layer counts for reporting.
+  int layers_removed(zoo::NetId base, int cut_node);
+  int layers_remaining(zoo::NetId base, int cut_node);
+
+ private:
+  struct NetState {
+    std::unique_ptr<nn::Graph> trunk;  // native resolution
+    std::vector<int> blockwise;
+    std::vector<int> iterative;
+    std::map<int, double> measured;
+    std::map<int, double> true_latency;
+    std::unique_ptr<hw::LatencyTable> table;
+  };
+  NetState& state(zoo::NetId base);
+
+  LabConfig config_;
+  hw::DeviceModel device_;
+  hw::LatencyMeasurer measurer_;
+  hw::LayerProfiler profiler_;
+  hw::TrainerModel trainer_;
+  std::map<zoo::NetId, NetState> states_;
+};
+
+}  // namespace netcut::core

@@ -1,0 +1,90 @@
+#include "core/netcut.hpp"
+
+#include <stdexcept>
+
+namespace netcut::core {
+
+const NetCutProposal& NetCutResult::winner() const {
+  if (selected < 0 || selected >= static_cast<int>(proposals.size()))
+    throw std::logic_error("NetCutResult: no winner");
+  return proposals[static_cast<std::size_t>(selected)];
+}
+
+NetCut::NetCut(LatencyLab& lab, TrnEvaluator& evaluator) : lab_(lab), evaluator_(evaluator) {}
+
+std::optional<std::pair<int, double>> NetCut::first_feasible_cut(LatencyEstimator& estimator,
+                                                                 zoo::NetId base,
+                                                                 double deadline_ms,
+                                                                 int* cutpoints_tried) {
+  // Cutpoint 0 is the untrimmed network; cutpoint k removes the last k
+  // blocks. The loop mirrors Algorithm 1: keep cutting until the estimate
+  // meets the deadline.
+  const std::vector<int>& cuts = lab_.blockwise(base);
+  const int blocks = static_cast<int>(cuts.size());
+  int tried = 0;
+  for (int k = 0; k <= blocks - 1; ++k) {
+    const int cut_node =
+        k == 0 ? lab_.full_cut(base) : cuts[static_cast<std::size_t>(blocks - 1 - k)];
+    ++tried;
+    const double est = estimator.estimate_ms(base, cut_node);
+    if (est <= deadline_ms) {
+      if (cutpoints_tried) *cutpoints_tried = tried;
+      return std::make_pair(cut_node, est);
+    }
+  }
+  if (cutpoints_tried) *cutpoints_tried = tried;
+  return std::nullopt;
+}
+
+NetCutResult NetCut::run(LatencyEstimator& estimator, const NetCutConfig& config) {
+  NetCutResult result;
+  result.deadline_ms = config.deadline_ms;
+  result.estimator = estimator.name();
+
+  const std::vector<zoo::NetId> nets =
+      config.networks.empty() ? zoo::all_nets() : config.networks;
+
+  for (zoo::NetId base : nets) {
+    int tried = 0;
+    const auto feasible =
+        first_feasible_cut(estimator, base, config.deadline_ms, &tried);
+    if (!feasible) continue;  // no TRN of this network can meet the deadline
+
+    const int cut_node = feasible->first;
+    NetCutProposal p;
+    p.estimated_ms = feasible->second;
+    p.cutpoints_tried = tried;
+
+    // Retrain + evaluate only this TRN (the expensive step NetCut rations).
+    Candidate c;
+    c.base = base;
+    c.base_name = zoo::net_name(base);
+    c.trn_name = lab_.name(base, cut_node);
+    c.cut_node = cut_node;
+    c.layers_removed = lab_.layers_removed(base, cut_node);
+    c.layers_remaining = lab_.layers_remaining(base, cut_node);
+    c.latency_ms = lab_.measured_ms(base, cut_node);
+    const AccuracyResult acc = evaluator_.accuracy(base, cut_node);
+    c.accuracy = acc.angular_similarity;
+    c.top1 = acc.top1;
+    c.train_hours = lab_.training_hours(base, cut_node);
+    p.trn = c;
+    p.meets_deadline = c.latency_ms <= config.deadline_ms;
+
+    result.proposals.push_back(std::move(p));
+  }
+
+  result.networks_retrained = static_cast<int>(result.proposals.size());
+  for (const NetCutProposal& p : result.proposals)
+    result.exploration_hours += p.trn.train_hours;
+
+  for (std::size_t i = 0; i < result.proposals.size(); ++i) {
+    if (result.selected < 0 ||
+        result.proposals[i].trn.accuracy >
+            result.proposals[static_cast<std::size_t>(result.selected)].trn.accuracy)
+      result.selected = static_cast<int>(i);
+  }
+  return result;
+}
+
+}  // namespace netcut::core

@@ -1,0 +1,50 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+namespace netcut::core {
+
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) {
+  const bool no_worse = a.latency_ms <= b.latency_ms && a.accuracy >= b.accuracy;
+  const bool better = a.latency_ms < b.latency_ms || a.accuracy > b.accuracy;
+  return no_worse && better;
+}
+
+std::vector<TradeoffPoint> pareto_frontier(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> frontier;
+  for (const TradeoffPoint& p : points) {
+    bool dominated = false;
+    for (const TradeoffPoint& q : points) {
+      if (&p != &q && dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              if (a.latency_ms != b.latency_ms) return a.latency_ms < b.latency_ms;
+              return a.accuracy < b.accuracy;
+            });
+  // Equal points can survive the pairwise check; deduplicate.
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const TradeoffPoint& a, const TradeoffPoint& b) {
+                               return a.latency_ms == b.latency_ms &&
+                                      a.accuracy == b.accuracy;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
+int best_under_deadline(const std::vector<TradeoffPoint>& points, double deadline_ms) {
+  int best = -1;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].latency_ms > deadline_ms) continue;
+    if (best < 0 || points[i].accuracy > points[static_cast<std::size_t>(best)].accuracy)
+      best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace netcut::core

@@ -1,0 +1,26 @@
+// Latency/accuracy Pareto frontier extraction (Figs 1, 6, 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netcut::core {
+
+struct TradeoffPoint {
+  std::string name;
+  double latency_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+/// True if `a` dominates `b`: no worse on both axes, better on at least one
+/// (lower latency is better, higher accuracy is better).
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b);
+
+/// The non-dominated subset, sorted by latency ascending.
+std::vector<TradeoffPoint> pareto_frontier(std::vector<TradeoffPoint> points);
+
+/// The most accurate point whose latency is <= deadline; returns -1 when
+/// none qualifies.
+int best_under_deadline(const std::vector<TradeoffPoint>& points, double deadline_ms);
+
+}  // namespace netcut::core

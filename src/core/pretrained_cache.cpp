@@ -1,0 +1,86 @@
+#include "core/pretrained_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::core {
+
+std::uint64_t pretrained_config_hash(const data::PretrainedConfig& c) {
+  std::ostringstream os;
+  os << "v7|" << c.seed << '|' << c.specialization_onset << '|' << c.source_images << '|'
+     << c.epochs << '|' << c.learning_rate << '|' << c.batch_size << '|' << c.aux_weight;
+  return util::derive_seed(0x9E77uLL, os.str());
+}
+
+namespace {
+/// Pretraining runs at a fixed reduced resolution: weights are
+/// resolution-independent (graph structure is identical at any input
+/// size), and 24x24 keeps the one-time training bill small. BatchNorm
+/// statistics are re-calibrated by the consumer at its own resolution.
+constexpr int kPretrainResolution = 24;
+}  // namespace
+
+namespace {
+std::string cache_file(zoo::NetId net, const data::PretrainedConfig& config,
+                       const std::string& cache_dir, int pretrain_resolution) {
+  std::ostringstream name;
+  name << zoo::net_name(net) << "_p" << pretrain_resolution << "_" << std::hex
+       << pretrained_config_hash(config) << ".weights";
+  return (std::filesystem::path(cache_dir) / name.str()).string();
+}
+}  // namespace
+
+bool pretrained_available(zoo::NetId net, const data::PretrainedConfig& config,
+                          const std::string& cache_dir) {
+  if (cache_dir.empty()) return false;
+  return std::filesystem::exists(cache_file(net, config, cache_dir, 24));
+}
+
+nn::Graph pretrained_trunk(zoo::NetId net, int resolution,
+                           const data::PretrainedConfig& config,
+                           const std::string& cache_dir) {
+  nn::Graph trunk = zoo::build_trunk(net, resolution);
+  data::PretrainedConfig cfg = config;
+  cfg.seed = util::derive_seed(cfg.seed, zoo::net_name(net));
+
+  std::string path;
+  if (!cache_dir.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    std::ostringstream name;
+    name << zoo::net_name(net) << "_p" << kPretrainResolution << "_" << std::hex
+         << pretrained_config_hash(config) << ".weights";
+    path = (std::filesystem::path(cache_dir) / name.str()).string();
+    if (nn::load_params(trunk, path)) return trunk;
+  }
+
+  nn::Graph train_trunk = resolution == kPretrainResolution
+                              ? trunk
+                              : zoo::build_trunk(net, kPretrainResolution);
+  const data::PretrainReport report = data::generate_pretrained_weights(train_trunk, cfg);
+  std::fprintf(stderr,
+               "[netcut] pretrained %s @%d: source-task top-1 %.2f (loss %.3f, %d steps)%s\n",
+               zoo::net_name(net).c_str(), kPretrainResolution, report.source_accuracy,
+               report.final_loss, report.steps,
+               path.empty() ? "" : (" -> cached " + path).c_str());
+  if (!path.empty()) {
+    nn::save_params(train_trunk, path);
+    if (!nn::load_params(trunk, path))
+      throw std::runtime_error("pretrained_trunk: failed to reload cached weights");
+  } else if (resolution != kPretrainResolution) {
+    // No cache directory: copy the trained state across via a temp file.
+    const std::string tmp = std::filesystem::temp_directory_path() /
+                            ("netcut_tmp_" + std::to_string(pretrained_config_hash(cfg)));
+    nn::save_params(train_trunk, tmp);
+    nn::load_params(trunk, tmp);
+    std::filesystem::remove(tmp);
+  } else {
+    trunk = std::move(train_trunk);
+  }
+  return trunk;
+}
+
+}  // namespace netcut::core

@@ -1,0 +1,29 @@
+// Disk-cached pseudo-pretrained trunks. Pretraining a deep trunk costs
+// minutes of CPU; the resulting weights depend only on (network, input
+// resolution, PretrainedConfig), so they are serialized once per
+// configuration and reloaded by every later evaluator / example / bench.
+#pragma once
+
+#include <string>
+
+#include "data/pretrained.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::core {
+
+/// Stable hash of the pretraining configuration (cache-key component).
+std::uint64_t pretrained_config_hash(const data::PretrainedConfig& config);
+
+/// True when a cached weight file exists for this (network, config).
+bool pretrained_available(zoo::NetId net, const data::PretrainedConfig& config,
+                          const std::string& cache_dir);
+
+/// Builds the trunk at `resolution` with pretrained weights: loaded from
+/// `cache_dir` when a matching file exists, otherwise trained via
+/// data::generate_pretrained_weights and saved. An empty cache_dir disables
+/// caching (always trains).
+nn::Graph pretrained_trunk(zoo::NetId net, int resolution,
+                           const data::PretrainedConfig& config,
+                           const std::string& cache_dir);
+
+}  // namespace netcut::core

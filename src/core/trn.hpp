@@ -1,0 +1,53 @@
+// Layer removal and TRimmed Network (TRN) construction — Section IV.
+//
+// A TRN is a prefix of a pretrained trunk with the problem-specific top
+// removed and a fresh transfer head attached (1 GlobalAvgPool, 2 FC/ReLU,
+// 1 FC/Softmax — Section III-B3). Cut sites come in two granularities:
+//   * blockwise  — the last node of each architectural block (the paper's
+//     chosen heuristic; negligible loss vs finer cuts, Fig 4);
+//   * iterative  — every graph dominator of the trunk output (the
+//     exhaustive per-layer baseline Fig 4 compares against).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "util/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::core {
+
+struct HeadConfig {
+  int classes = 5;
+  int hidden1 = 64;
+  int hidden2 = 32;
+  bool with_softmax = true;  // trainers operate on logits and drop it
+};
+
+/// Cut sites for blockwise removal: the last node of every block, in depth
+/// order. cut after blocks[i] keeps blocks 0..i.
+std::vector<int> blockwise_cutpoints(const nn::Graph& trunk);
+
+/// Cut sites for iterative (per-layer) removal: all output dominators.
+std::vector<int> iterative_cutpoints(const nn::Graph& trunk);
+
+/// Appends the transfer head to a trunk prefix. `rng` initializes the new
+/// dense layers (He/Xavier).
+nn::Graph attach_head(nn::Graph trunk_prefix, const HeadConfig& head, util::Rng& rng);
+
+/// Builds the TRN graph: trunk cut at `cut_node` + fresh head.
+nn::Graph build_trn(const nn::Graph& trunk, int cut_node, const HeadConfig& head,
+                    util::Rng& rng);
+
+/// Number of trunk layers (nodes excluding the input) kept by the cut.
+int layers_remaining(const nn::Graph& trunk, int cut_node);
+
+/// Number of trunk layers removed by the cut.
+int layers_removed(const nn::Graph& trunk, int cut_node);
+
+/// Paper-style TRN name, e.g. "ResNet50/113" (base network / remaining
+/// layer count).
+std::string trn_name(const std::string& base_name, const nn::Graph& trunk, int cut_node);
+
+}  // namespace netcut::core

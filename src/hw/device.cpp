@@ -1,0 +1,121 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netcut::hw {
+
+const char* to_string(Precision p) { return p == Precision::kFp32 ? "fp32" : "int8"; }
+
+DeviceModel::DeviceModel(DeviceConfig config) : config_(std::move(config)) {
+  if (config_.peak_gflops_fp32 <= 0 || config_.peak_gflops_int8 <= 0 ||
+      config_.mem_bandwidth_gbps <= 0)
+    throw std::invalid_argument("DeviceModel: non-positive throughput");
+}
+
+std::vector<bool> DeviceModel::fused_away(const nn::Graph& graph) {
+  const int n = graph.node_count();
+  std::vector<int> consumers(static_cast<std::size_t>(n), 0);
+  for (int id = 1; id < n; ++id)
+    for (int src : graph.node(id).inputs) ++consumers[static_cast<std::size_t>(src)];
+
+  auto is_compute = [](nn::LayerKind k) {
+    switch (k) {
+      case nn::LayerKind::kConv2D:
+      case nn::LayerKind::kDepthwiseConv2D:
+      case nn::LayerKind::kDense:
+      case nn::LayerKind::kAdd:
+      case nn::LayerKind::kBatchNorm:
+        return true;
+      default:
+        return false;
+    }
+  };
+
+  std::vector<bool> fused(static_cast<std::size_t>(n), false);
+  for (int id = 1; id < n; ++id) {
+    const nn::Node& nd = graph.node(id);
+    const nn::LayerKind k = nd.layer->kind();
+    if (k != nn::LayerKind::kBatchNorm && k != nn::LayerKind::kReLU &&
+        k != nn::LayerKind::kReLU6)
+      continue;
+    if (nd.inputs.size() != 1) continue;
+    const int producer = nd.inputs[0];
+    if (producer == graph.input_node()) continue;
+    if (consumers[static_cast<std::size_t>(producer)] != 1) continue;
+    if (!is_compute(graph.node(producer).layer->kind())) continue;
+    fused[static_cast<std::size_t>(id)] = true;
+  }
+  return fused;
+}
+
+double DeviceModel::node_latency_ms(const nn::Layer& layer, const nn::LayerCost& cost,
+                                    Precision precision) const {
+  const double elem_bytes = precision == Precision::kInt8 ? 1.0 : 4.0;
+  const double peak =
+      precision == Precision::kInt8 ? config_.peak_gflops_int8 : config_.peak_gflops_fp32;
+
+  double eff = 0.0;
+  switch (layer.kind()) {
+    case nn::LayerKind::kConv2D:
+      eff = cost.kernel > 1 ? config_.efficiency_conv : config_.efficiency_pointwise;
+      break;
+    case nn::LayerKind::kDepthwiseConv2D:
+      eff = config_.efficiency_depthwise;
+      break;
+    case nn::LayerKind::kDense:
+      eff = config_.efficiency_dense;
+      break;
+    default:
+      eff = 0.0;  // bandwidth-bound ops: no compute term
+      break;
+  }
+
+  double compute_ms = 0.0;
+  if (eff > 0.0) {
+    // Small output grids under-utilize the SMs.
+    const double spatial = std::max<double>(1.0, static_cast<double>(cost.output_elems));
+    const double util = spatial / (spatial + config_.spatial_knee * 1024.0);
+    compute_ms = static_cast<double>(cost.flops) / (peak * 1e9 * eff * std::max(util, 0.05)) * 1e3;
+  }
+
+  const double bytes =
+      (static_cast<double>(cost.input_elems) + static_cast<double>(cost.output_elems)) *
+          elem_bytes +
+      static_cast<double>(cost.params) * elem_bytes;
+  const double memory_ms = bytes / (config_.mem_bandwidth_gbps * 1e9) * 1e3;
+
+  return config_.kernel_launch_us * 1e-3 + std::max(compute_ms, memory_ms);
+}
+
+std::vector<KernelCost> DeviceModel::kernel_costs(const nn::Graph& graph, Precision precision,
+                                                  bool fuse) const {
+  const std::vector<tensor::Shape> shapes = graph.infer_shapes();
+  const std::vector<bool> fused =
+      fuse ? fused_away(graph) : std::vector<bool>(static_cast<std::size_t>(graph.node_count()),
+                                                   false);
+  std::vector<KernelCost> out;
+  out.reserve(static_cast<std::size_t>(graph.node_count()) - 1);
+  for (int id = 1; id < graph.node_count(); ++id) {
+    const nn::Node& nd = graph.node(id);
+    std::vector<tensor::Shape> in;
+    for (int src : nd.inputs) in.push_back(shapes[static_cast<std::size_t>(src)]);
+    KernelCost kc;
+    kc.node = id;
+    kc.name = nd.name;
+    kc.fused_away = fused[static_cast<std::size_t>(id)];
+    kc.latency_ms =
+        kc.fused_away ? 0.0 : node_latency_ms(*nd.layer, nd.layer->cost(in), precision);
+    out.push_back(std::move(kc));
+  }
+  return out;
+}
+
+double DeviceModel::network_latency_ms(const nn::Graph& graph, Precision precision,
+                                       bool fuse) const {
+  double total = 0.0;
+  for (const KernelCost& kc : kernel_costs(graph, precision, fuse)) total += kc.latency_ms;
+  return total;
+}
+
+}  // namespace netcut::hw

@@ -1,0 +1,77 @@
+// Analytical embedded-GPU timing model — the substitution for the paper's
+// NVIDIA Jetson Xavier (see DESIGN.md).
+//
+// Per-kernel latency is a roofline: launch overhead plus the max of a
+// compute term (FLOPs over effective throughput) and a memory term
+// (activation + weight traffic over bandwidth). Effective compute
+// throughput depends on operator class (depthwise convolutions are
+// memory-bound and run far below peak) and on output spatial size (small
+// late-network grids under-utilize the GPU). The spatial term is what makes
+// latency mildly *non-linear* in the cutpoint — the effect the paper's
+// RBF-SVR estimator captures and a linear model does not.
+//
+// Graph latency sums kernels after an optional fusion pass
+// (BatchNorm/ReLU folded into their producer, as TensorRT-style deployment
+// does; the paper enables layer fusion in its deployment optimizations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace netcut::hw {
+
+enum class Precision { kFp32, kInt8 };
+
+const char* to_string(Precision p);
+
+struct DeviceConfig {
+  std::string name = "xavier-sim";
+  double peak_gflops_fp32 = 1400.0;
+  double peak_gflops_int8 = 11000.0;   // tensor-core / DLA int8 path
+  double mem_bandwidth_gbps = 137.0;   // LPDDR4x
+  double kernel_launch_us = 9.0;
+  double efficiency_conv = 0.55;       // dense spatial convolutions
+  double efficiency_pointwise = 0.45;  // 1x1 convolutions
+  double efficiency_depthwise = 0.12;  // memory-bound
+  double efficiency_dense = 0.35;
+  /// Output-grid utilization knee: efficiency scales by s/(s+knee) where s
+  /// is the output spatial element count.
+  double spatial_knee = 16.0;
+};
+
+struct KernelCost {
+  int node = -1;
+  std::string name;
+  double latency_ms = 0.0;
+  bool fused_away = false;  // absorbed into the producer kernel
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceConfig config = {});
+
+  const DeviceConfig& config() const { return config_; }
+
+  /// True (noise-free) latency of every node. Fused-away nodes get 0.
+  std::vector<KernelCost> kernel_costs(const nn::Graph& graph, Precision precision,
+                                       bool fuse) const;
+
+  /// True end-to-end latency in ms.
+  double network_latency_ms(const nn::Graph& graph, Precision precision, bool fuse) const;
+
+  /// Which nodes are absorbed into their producer kernel under fusion
+  /// (BatchNorm / ReLU / ReLU6 whose producer is a compute node and whose
+  /// producer has no other consumer).
+  static std::vector<bool> fused_away(const nn::Graph& graph);
+
+ private:
+  double node_latency_ms(const nn::Layer& layer, const nn::LayerCost& cost,
+                         Precision precision) const;
+
+  DeviceConfig config_;
+};
+
+}  // namespace netcut::hw

@@ -1,0 +1,40 @@
+#include "hw/measure.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace netcut::hw {
+
+LatencyMeasurer::LatencyMeasurer(const DeviceModel& device, MeasureConfig config)
+    : device_(device), config_(config) {}
+
+double LatencyMeasurer::simulate_run_ms(double true_ms, int run_index, util::Rng& rng) const {
+  const double ramp =
+      1.0 + config_.cold_penalty * std::exp(-static_cast<double>(run_index) /
+                                            config_.warmup_decay_runs);
+  return true_ms * ramp * rng.lognormal(0.0, config_.noise_sigma);
+}
+
+Measurement LatencyMeasurer::measure_network(const nn::Graph& graph, Precision precision,
+                                             bool fuse) {
+  const double true_ms = device_.network_latency_ms(graph, precision, fuse);
+  util::Rng rng(util::derive_seed(config_.seed, "measure/" +
+                                                    std::to_string(measurement_counter_++)));
+  for (int i = 0; i < config_.warmup_runs; ++i) simulate_run_ms(true_ms, i, rng);
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(config_.timed_runs));
+  for (int i = 0; i < config_.timed_runs; ++i)
+    samples.push_back(simulate_run_ms(true_ms, config_.warmup_runs + i, rng));
+
+  Measurement m;
+  m.mean_ms = util::mean(samples);
+  m.stdev_ms = util::stdev(samples);
+  m.min_ms = util::min_of(samples);
+  m.max_ms = util::max_of(samples);
+  m.runs = config_.timed_runs;
+  return m;
+}
+
+}  // namespace netcut::hw

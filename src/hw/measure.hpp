@@ -1,0 +1,49 @@
+// The paper's measurement protocol (Section IV-B2): warm the GPU with 200
+// inferences, then report the mean over another 800 timed runs. The
+// simulator adds a clock-ramp warm-up transient and lognormal run-to-run
+// noise on top of the DeviceModel's true latency, so measured numbers have
+// the statistical texture of real device timings while staying
+// deterministic for a given seed.
+#pragma once
+
+#include "hw/device.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::hw {
+
+struct MeasureConfig {
+  int warmup_runs = 200;
+  int timed_runs = 800;
+  double noise_sigma = 0.012;      // lognormal sigma per run
+  double cold_penalty = 0.6;       // initial clock-ramp latency multiplier
+  double warmup_decay_runs = 60.0; // e-folding of the cold penalty
+  std::uint64_t seed = 1234;
+};
+
+struct Measurement {
+  double mean_ms = 0.0;
+  double stdev_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  int runs = 0;
+};
+
+class LatencyMeasurer {
+ public:
+  LatencyMeasurer(const DeviceModel& device, MeasureConfig config = {});
+
+  /// Full protocol: 200 warm-up + 800 timed runs of the whole network.
+  Measurement measure_network(const nn::Graph& graph, Precision precision, bool fuse);
+
+  /// One simulated run at the given global run index (0 = cold start).
+  double simulate_run_ms(double true_ms, int run_index, util::Rng& rng) const;
+
+  const MeasureConfig& config() const { return config_; }
+
+ private:
+  const DeviceModel& device_;
+  MeasureConfig config_;
+  std::uint64_t measurement_counter_ = 0;
+};
+
+}  // namespace netcut::hw

@@ -1,0 +1,43 @@
+#include "hw/profiler.hpp"
+
+namespace netcut::hw {
+
+double LatencyTable::layer_sum_ms() const {
+  double s = 0.0;
+  for (const ProfiledLayer& l : layers) s += l.latency_ms;
+  return s;
+}
+
+LayerProfiler::LayerProfiler(const DeviceModel& device, LatencyMeasurer& measurer,
+                             ProfilerConfig config)
+    : device_(device), measurer_(measurer), config_(config) {}
+
+LatencyTable LayerProfiler::profile(const nn::Graph& graph, const std::string& name,
+                                    Precision precision, bool fuse) {
+  LatencyTable table;
+  table.network = name;
+  table.end_to_end_ms = measurer_.measure_network(graph, precision, fuse).mean_ms;
+
+  util::Rng rng(
+      util::derive_seed(config_.seed, "profiler/" + std::to_string(table_counter_++)));
+
+  for (const KernelCost& kc : device_.kernel_costs(graph, precision, fuse)) {
+    ProfiledLayer pl;
+    pl.node = kc.node;
+    pl.name = kc.name;
+    pl.fused_away = kc.fused_away;
+    if (!kc.fused_away) {
+      double sum = 0.0;
+      for (int r = 0; r < config_.profile_runs; ++r) {
+        const double timed = (kc.latency_ms + config_.event_overhead_us * 1e-3) *
+                             rng.lognormal(0.0, config_.noise_sigma);
+        sum += timed;
+      }
+      pl.latency_ms = sum / config_.profile_runs;
+    }
+    table.layers.push_back(std::move(pl));
+  }
+  return table;
+}
+
+}  // namespace netcut::hw

@@ -1,0 +1,60 @@
+// Simulated CUDA-event per-layer profiling (Section V-B1).
+//
+// Real per-layer event timing adds instrumentation overhead to every
+// kernel, which is why the paper observes that the *sum* of per-layer
+// latencies slightly exceeds the measured end-to-end latency — and why its
+// profiler-based estimator rescales by a ratio instead of summing. The
+// simulator reproduces that artifact: each profiled kernel reads
+// true_latency + event_overhead, perturbed by measurement noise, while the
+// table's end-to-end reference comes from the unperturbed measurement
+// protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/measure.hpp"
+
+namespace netcut::hw {
+
+struct ProfiledLayer {
+  int node = -1;
+  std::string name;
+  double latency_ms = 0.0;   // per-layer event timing (includes overhead)
+  bool fused_away = false;   // absorbed kernels appear with 0 latency
+};
+
+struct LatencyTable {
+  std::string network;
+  std::vector<ProfiledLayer> layers;
+  double end_to_end_ms = 0.0;  // measured without per-layer events
+
+  /// Sum of the per-layer event timings (> end_to_end_ms by the overhead).
+  double layer_sum_ms() const;
+};
+
+struct ProfilerConfig {
+  double event_overhead_us = 0.7;  // added to each profiled kernel
+  double noise_sigma = 0.02;       // per-layer timing noise
+  int profile_runs = 50;           // per-layer timings averaged over runs
+  std::uint64_t seed = 4321;
+};
+
+class LayerProfiler {
+ public:
+  LayerProfiler(const DeviceModel& device, LatencyMeasurer& measurer,
+                ProfilerConfig config = {});
+
+  /// Builds the per-layer latency table for one network. One table per
+  /// unmodified network is all the profiler-based estimator needs.
+  LatencyTable profile(const nn::Graph& graph, const std::string& name, Precision precision,
+                       bool fuse);
+
+ private:
+  const DeviceModel& device_;
+  LatencyMeasurer& measurer_;
+  ProfilerConfig config_;
+  std::uint64_t table_counter_ = 0;
+};
+
+}  // namespace netcut::hw

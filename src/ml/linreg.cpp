@@ -1,0 +1,97 @@
+#include "ml/linreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netcut::ml {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const int n = static_cast<int>(a.size());
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row)
+      if (std::abs(a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(col)]))
+        pivot = row;
+    std::swap(a[static_cast<std::size_t>(col)], a[static_cast<std::size_t>(pivot)]);
+    std::swap(b[static_cast<std::size_t>(col)], b[static_cast<std::size_t>(pivot)]);
+
+    const double diag = a[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    if (std::abs(diag) < 1e-14) throw std::runtime_error("solve_linear_system: singular matrix");
+    for (int row = col + 1; row < n; ++row) {
+      const double f =
+          a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] / diag;
+      if (f == 0.0) continue;
+      for (int k = col; k < n; ++k)
+        a[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] -=
+            f * a[static_cast<std::size_t>(col)][static_cast<std::size_t>(k)];
+      b[static_cast<std::size_t>(row)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int row = n - 1; row >= 0; --row) {
+    double s = b[static_cast<std::size_t>(row)];
+    for (int k = row + 1; k < n; ++k)
+      s -= a[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] *
+           w[static_cast<std::size_t>(k)];
+    w[static_cast<std::size_t>(row)] =
+        s / a[static_cast<std::size_t>(row)][static_cast<std::size_t>(row)];
+  }
+  return w;
+}
+
+LinearRegression::LinearRegression(double ridge) : ridge_(ridge) {
+  if (ridge < 0) throw std::invalid_argument("LinearRegression: negative ridge");
+}
+
+void LinearRegression::fit(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("LinearRegression::fit: bad training set");
+  const int n = static_cast<int>(x.size());
+  const int d = static_cast<int>(x[0].size()) + 1;  // + intercept column
+
+  // Normal equations: (XᵀX + λI) w = Xᵀy with an appended 1s column.
+  std::vector<std::vector<double>> xtx(static_cast<std::size_t>(d),
+                                       std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::vector<double> xty(static_cast<std::size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row = x[static_cast<std::size_t>(i)];
+    row.push_back(1.0);
+    for (int a = 0; a < d; ++a) {
+      xty[static_cast<std::size_t>(a)] +=
+          row[static_cast<std::size_t>(a)] * y[static_cast<std::size_t>(i)];
+      for (int b = 0; b < d; ++b)
+        xtx[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +=
+            row[static_cast<std::size_t>(a)] * row[static_cast<std::size_t>(b)];
+    }
+  }
+  for (int a = 0; a < d; ++a) xtx[static_cast<std::size_t>(a)][static_cast<std::size_t>(a)] +=
+      ridge_;
+
+  const std::vector<double> w = solve_linear_system(std::move(xtx), std::move(xty));
+  coef_.assign(w.begin(), w.end() - 1);
+  intercept_ = w.back();
+  trained_ = true;
+}
+
+double LinearRegression::predict(const std::vector<double>& x) const {
+  if (!trained_) throw std::logic_error("LinearRegression::predict before fit");
+  if (x.size() != coef_.size())
+    throw std::invalid_argument("LinearRegression::predict: dimension mismatch");
+  double f = intercept_;
+  for (std::size_t k = 0; k < coef_.size(); ++k) f += coef_[k] * x[k];
+  return f;
+}
+
+std::vector<double> LinearRegression::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace netcut::ml

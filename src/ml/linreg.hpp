@@ -1,0 +1,34 @@
+// Ordinary least-squares linear regression — the baseline the paper uses
+// to justify the RBF kernel (23.81% error vs 4.28%).
+#pragma once
+
+#include <vector>
+
+namespace netcut::ml {
+
+class LinearRegression {
+ public:
+  /// ridge > 0 adds Tikhonov damping for numerical robustness.
+  explicit LinearRegression(double ridge = 1e-8);
+
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+  double predict(const std::vector<double>& x) const;
+  std::vector<double> predict(const std::vector<std::vector<double>>& x) const;
+
+  bool trained() const { return trained_; }
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double ridge_;
+  bool trained_ = false;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Solves A w = b for symmetric positive-definite A (Gaussian elimination
+/// with partial pivoting). Exposed for tests.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace netcut::ml

@@ -1,0 +1,55 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netcut::ml {
+
+double angular_distance(const tensor::Tensor& p, const tensor::Tensor& q) {
+  if (p.shape() != q.shape()) throw std::invalid_argument("angular_distance: shape mismatch");
+  double dot = 0.0, np = 0.0, nq = 0.0;
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    dot += static_cast<double>(p[i]) * q[i];
+    np += static_cast<double>(p[i]) * p[i];
+    nq += static_cast<double>(q[i]) * q[i];
+  }
+  if (np <= 0.0 || nq <= 0.0) throw std::invalid_argument("angular_distance: zero vector");
+  const double cosine = std::clamp(dot / std::sqrt(np * nq), -1.0, 1.0);
+  return 2.0 / M_PI * std::acos(cosine);
+}
+
+double angular_similarity(const tensor::Tensor& p, const tensor::Tensor& q) {
+  return 1.0 - angular_distance(p, q);
+}
+
+namespace {
+int argmax(const tensor::Tensor& t) {
+  int best = 0;
+  for (std::int64_t i = 1; i < t.numel(); ++i)
+    if (t[i] > t[best]) best = static_cast<int>(i);
+  return best;
+}
+}  // namespace
+
+double top1_agreement(const std::vector<tensor::Tensor>& predictions,
+                      const std::vector<tensor::Tensor>& labels) {
+  if (predictions.size() != labels.size() || predictions.empty())
+    throw std::invalid_argument("top1_agreement: bad batch");
+  int hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (argmax(predictions[i]) == argmax(labels[i])) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+double mean_angular_similarity(const std::vector<tensor::Tensor>& predictions,
+                               const std::vector<tensor::Tensor>& labels) {
+  if (predictions.size() != labels.size() || predictions.empty())
+    throw std::invalid_argument("mean_angular_similarity: bad batch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    s += angular_similarity(predictions[i], labels[i]);
+  return s / static_cast<double>(predictions.size());
+}
+
+}  // namespace netcut::ml

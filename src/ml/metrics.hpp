@@ -1,0 +1,26 @@
+// Accuracy metrics for probability-distribution predictions. The paper
+// scores the visual classifier by *angular similarity* between the
+// predicted grasp distribution and the probabilistic label (Section III-A).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace netcut::ml {
+
+/// 1 − (2/π)·arccos( p·q / (|p||q|) ), in [0, 1] for nonnegative vectors.
+double angular_similarity(const tensor::Tensor& p, const tensor::Tensor& q);
+
+/// (2/π)·arccos( p·q / (|p||q|) ) — the complementary distance.
+double angular_distance(const tensor::Tensor& p, const tensor::Tensor& q);
+
+/// Fraction of samples where argmax(prediction) == argmax(label).
+double top1_agreement(const std::vector<tensor::Tensor>& predictions,
+                      const std::vector<tensor::Tensor>& labels);
+
+/// Mean angular similarity over a batch.
+double mean_angular_similarity(const std::vector<tensor::Tensor>& predictions,
+                               const std::vector<tensor::Tensor>& labels);
+
+}  // namespace netcut::ml

@@ -1,0 +1,129 @@
+#include "ml/model_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netcut::ml {
+
+void Standardizer::fit(const std::vector<std::vector<double>>& x) {
+  if (x.empty()) throw std::invalid_argument("Standardizer::fit: empty input");
+  const std::size_t d = x[0].size();
+  mean_.assign(d, 0.0);
+  stdev_.assign(d, 0.0);
+  for (const auto& row : x) {
+    if (row.size() != d) throw std::invalid_argument("Standardizer::fit: ragged input");
+    for (std::size_t k = 0; k < d; ++k) mean_[k] += row[k];
+  }
+  for (std::size_t k = 0; k < d; ++k) mean_[k] /= static_cast<double>(x.size());
+  for (const auto& row : x)
+    for (std::size_t k = 0; k < d; ++k) stdev_[k] += (row[k] - mean_[k]) * (row[k] - mean_[k]);
+  for (std::size_t k = 0; k < d; ++k) {
+    stdev_[k] = std::sqrt(stdev_[k] / static_cast<double>(x.size()));
+    if (stdev_[k] < 1e-12) stdev_[k] = 1.0;  // constant feature: leave centered
+  }
+  fitted_ = true;
+}
+
+std::vector<double> Standardizer::transform(const std::vector<double>& x) const {
+  if (!fitted_) throw std::logic_error("Standardizer::transform before fit");
+  if (x.size() != mean_.size())
+    throw std::invalid_argument("Standardizer::transform: dimension mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) out[k] = (x[k] - mean_[k]) / stdev_[k];
+  return out;
+}
+
+std::vector<std::vector<double>> Standardizer::transform(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(transform(row));
+  return out;
+}
+
+std::vector<Fold> kfold(int n, int folds, std::uint64_t seed) {
+  if (folds < 2 || folds > n) throw std::invalid_argument("kfold: bad fold count");
+  util::Rng rng(util::derive_seed(seed, "kfold"));
+  const std::vector<int> order = rng.permutation(n);
+
+  std::vector<Fold> out(static_cast<std::size_t>(folds));
+  for (int i = 0; i < n; ++i) {
+    const int fold = i % folds;
+    for (int f = 0; f < folds; ++f) {
+      if (f == fold)
+        out[static_cast<std::size_t>(f)].test_indices.push_back(order[static_cast<std::size_t>(i)]);
+      else
+        out[static_cast<std::size_t>(f)].train_indices.push_back(
+            order[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+double cross_validate(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y, int folds,
+    std::uint64_t seed,
+    const std::function<std::vector<double>(const std::vector<std::vector<double>>&,
+                                            const std::vector<double>&,
+                                            const std::vector<std::vector<double>>&)>&
+        fit_predict,
+    const std::function<double(const std::vector<double>&, const std::vector<double>&)>&
+        score) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("cross_validate: bad dataset");
+  const auto splits = kfold(static_cast<int>(x.size()), folds, seed);
+  std::vector<double> errors;
+  errors.reserve(splits.size());
+  for (const Fold& fold : splits) {
+    std::vector<std::vector<double>> train_x, test_x;
+    std::vector<double> train_y, test_y;
+    for (int i : fold.train_indices) {
+      train_x.push_back(x[static_cast<std::size_t>(i)]);
+      train_y.push_back(y[static_cast<std::size_t>(i)]);
+    }
+    for (int i : fold.test_indices) {
+      test_x.push_back(x[static_cast<std::size_t>(i)]);
+      test_y.push_back(y[static_cast<std::size_t>(i)]);
+    }
+    const std::vector<double> pred = fit_predict(train_x, train_y, test_x);
+    errors.push_back(score(pred, test_y));
+  }
+  return util::mean(errors);
+}
+
+std::vector<GridPoint> grid_search_svr(const std::vector<std::vector<double>>& x,
+                                       const std::vector<double>& y,
+                                       const std::vector<double>& gammas,
+                                       const std::vector<double>& cs, int folds,
+                                       std::uint64_t seed) {
+  std::vector<GridPoint> points;
+  for (double gamma : gammas) {
+    for (double c : cs) {
+      SvrConfig cfg;
+      cfg.gamma = gamma;
+      cfg.c = c;
+      const double err = cross_validate(
+          x, y, folds, seed,
+          [&cfg](const std::vector<std::vector<double>>& tx, const std::vector<double>& ty,
+                 const std::vector<std::vector<double>>& ex) {
+            Svr svr(cfg);
+            svr.fit(tx, ty);
+            return svr.predict(ex);
+          },
+          [](const std::vector<double>& pred, const std::vector<double>& truth) {
+            return util::rmse(pred, truth);
+          });
+      points.push_back({gamma, c, err});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const GridPoint& a, const GridPoint& b) { return a.cv_error < b.cv_error; });
+  return points;
+}
+
+}  // namespace netcut::ml

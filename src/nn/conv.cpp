@@ -1,0 +1,261 @@
+#include "nn/conv.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+
+namespace netcut::nn {
+
+using tensor::ConvGeometry;
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad, bool bias)
+    : Conv2D(in_channels, out_channels, kernel, kernel, stride,
+             pad < 0 ? tensor::same_pad(kernel) : pad,
+             pad < 0 ? tensor::same_pad(kernel) : pad, bias) {}
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, int stride,
+               int pad_h, int pad_w, bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      stride_(stride),
+      pad_h_(pad_h),
+      pad_w_(pad_w),
+      has_bias_(bias),
+      weight_(Shape{out_channels, in_channels, kernel_h, kernel_w}),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, in_channels, kernel_h, kernel_w}),
+      grad_bias_(Shape{out_channels}) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel_h <= 0 || kernel_w <= 0 || stride <= 0 ||
+      pad_h < 0 || pad_w < 0)
+    throw std::invalid_argument("Conv2D: invalid hyperparameters");
+}
+
+ConvGeometry Conv2D::geometry(const Shape& in) const {
+  ConvGeometry g;
+  g.in_c = in[0];
+  g.in_h = in[1];
+  g.in_w = in[2];
+  g.kernel_h = kernel_h_;
+  g.kernel_w = kernel_w_;
+  g.stride = stride_;
+  g.pad_h = pad_h_;
+  g.pad_w = pad_w_;
+  return g;
+}
+
+Shape Conv2D::output_shape(const std::vector<Shape>& in) const {
+  require_arity(in, 1, "Conv2D");
+  if (in[0].rank() != 3 || in[0][0] != in_c_)
+    throw std::invalid_argument("Conv2D: input shape mismatch, got " + in[0].to_string());
+  const ConvGeometry g = geometry(in[0]);
+  if (g.out_h() < 1 || g.out_w() < 1)
+    throw std::invalid_argument("Conv2D: output collapses below 1x1 for input " +
+                                in[0].to_string());
+  return Shape::chw(out_c_, g.out_h(), g.out_w());
+}
+
+Tensor Conv2D::forward(const std::vector<const Tensor*>& in, bool train) {
+  require_arity(in, 1, "Conv2D");
+  const Tensor& x = *in[0];
+  const ConvGeometry g = geometry(x.shape());
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int k2 = in_c_ * kernel_h_ * kernel_w_;
+
+  std::vector<float> cols(static_cast<std::size_t>(k2) * oh * ow);
+  tensor::im2col(x.data(), g, cols.data());
+
+  Tensor y(Shape::chw(out_c_, oh, ow));
+  // W viewed as [out_c, k2]; cols is [k2, oh*ow].
+  tensor::gemm(weight_.data(), cols.data(), y.data(), out_c_, k2, oh * ow);
+  if (has_bias_) {
+    for (int o = 0; o < out_c_; ++o) {
+      float* plane = y.data() + static_cast<std::int64_t>(o) * oh * ow;
+      const float b = bias_[o];
+      for (int i = 0; i < oh * ow; ++i) plane[i] += b;
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+std::vector<Tensor> Conv2D::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::logic_error("Conv2D::backward without train forward");
+  const Tensor& x = cached_input_;
+  const ConvGeometry g = geometry(x.shape());
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int k2 = in_c_ * kernel_h_ * kernel_w_;
+  const int hw = oh * ow;
+
+  std::vector<float> cols(static_cast<std::size_t>(k2) * hw);
+  tensor::im2col(x.data(), g, cols.data());
+
+  // dW[out_c, k2] += dY[out_c, hw] * cols^T[hw, k2]
+  std::vector<float> dw(static_cast<std::size_t>(out_c_) * k2);
+  tensor::gemm_bt(grad_out.data(), cols.data(), dw.data(), out_c_, hw, k2);
+  for (std::int64_t i = 0; i < grad_weight_.numel(); ++i) grad_weight_[i] += dw[i];
+
+  if (has_bias_) {
+    for (int o = 0; o < out_c_; ++o) {
+      const float* plane = grad_out.data() + static_cast<std::int64_t>(o) * hw;
+      float s = 0.0f;
+      for (int i = 0; i < hw; ++i) s += plane[i];
+      grad_bias_[o] += s;
+    }
+  }
+
+  // dcols[k2, hw] = W^T[k2, out_c] * dY[out_c, hw], then col2im.
+  std::vector<float> dcols(static_cast<std::size_t>(k2) * hw);
+  tensor::gemm_at(weight_.data(), grad_out.data(), dcols.data(), k2, out_c_, hw);
+  Tensor dx(x.shape());
+  tensor::col2im(dcols.data(), g, dx.data());
+
+  std::vector<Tensor> grads_in;
+  grads_in.push_back(std::move(dx));
+  return grads_in;
+}
+
+std::vector<Tensor*> Conv2D::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::vector<Tensor*> Conv2D::grads() {
+  if (has_bias_) return {&grad_weight_, &grad_bias_};
+  return {&grad_weight_};
+}
+
+LayerCost Conv2D::cost(const std::vector<Shape>& in) const {
+  const Shape out = output_shape(in);
+  LayerCost c;
+  const std::int64_t hw = static_cast<std::int64_t>(out[1]) * out[2];
+  c.flops = 2LL * kernel_h_ * kernel_w_ * in_c_ * out_c_ * hw + (has_bias_ ? out.numel() : 0);
+  c.params = weight_.numel() + (has_bias_ ? bias_.numel() : 0);
+  c.input_elems = in[0].numel();
+  c.output_elems = out.numel();
+  c.kernel = kernel_h_ > kernel_w_ ? kernel_h_ : kernel_w_;
+  return c;
+}
+
+DepthwiseConv2D::DepthwiseConv2D(int channels, int kernel, int stride, int pad, bool bias)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad < 0 ? tensor::same_pad(kernel) : pad),
+      has_bias_(bias),
+      weight_(Shape{channels, 1, kernel, kernel}),
+      bias_(Shape{channels}),
+      grad_weight_(Shape{channels, 1, kernel, kernel}),
+      grad_bias_(Shape{channels}) {
+  if (channels <= 0 || kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("DepthwiseConv2D: invalid hyperparameters");
+}
+
+Shape DepthwiseConv2D::output_shape(const std::vector<Shape>& in) const {
+  require_arity(in, 1, "DepthwiseConv2D");
+  if (in[0].rank() != 3 || in[0][0] != channels_)
+    throw std::invalid_argument("DepthwiseConv2D: input shape mismatch");
+  const int oh = (in[0][1] + 2 * pad_ - kernel_) / stride_ + 1;
+  const int ow = (in[0][2] + 2 * pad_ - kernel_) / stride_ + 1;
+  if (oh < 1 || ow < 1)
+    throw std::invalid_argument("DepthwiseConv2D: output collapses below 1x1");
+  return Shape::chw(channels_, oh, ow);
+}
+
+Tensor DepthwiseConv2D::forward(const std::vector<const Tensor*>& in, bool train) {
+  require_arity(in, 1, "DepthwiseConv2D");
+  const Tensor& x = *in[0];
+  const Shape out = output_shape({x.shape()});
+  const int ih = x.shape()[1], iw = x.shape()[2];
+  const int oh = out[1], ow = out[2];
+
+  Tensor y(out);
+  for (int c = 0; c < channels_; ++c) {
+    const float* chan = x.data() + static_cast<std::int64_t>(c) * ih * iw;
+    const float* w = weight_.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+    float* dst = y.data() + static_cast<std::int64_t>(c) * oh * ow;
+    const float b = has_bias_ ? bias_[c] : 0.0f;
+    for (int yo = 0; yo < oh; ++yo) {
+      for (int xo = 0; xo < ow; ++xo) {
+        float s = b;
+        for (int kh = 0; kh < kernel_; ++kh) {
+          const int iy = yo * stride_ + kh - pad_;
+          if (iy < 0 || iy >= ih) continue;
+          for (int kw = 0; kw < kernel_; ++kw) {
+            const int ix = xo * stride_ + kw - pad_;
+            if (ix < 0 || ix >= iw) continue;
+            s += w[kh * kernel_ + kw] * chan[iy * iw + ix];
+          }
+        }
+        dst[yo * ow + xo] = s;
+      }
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+std::vector<Tensor> DepthwiseConv2D::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error("DepthwiseConv2D::backward without train forward");
+  const Tensor& x = cached_input_;
+  const int ih = x.shape()[1], iw = x.shape()[2];
+  const int oh = grad_out.shape()[1], ow = grad_out.shape()[2];
+
+  Tensor dx(x.shape());
+  for (int c = 0; c < channels_; ++c) {
+    const float* chan = x.data() + static_cast<std::int64_t>(c) * ih * iw;
+    const float* dy = grad_out.data() + static_cast<std::int64_t>(c) * oh * ow;
+    const float* w = weight_.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+    float* dw = grad_weight_.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
+    float* dxc = dx.data() + static_cast<std::int64_t>(c) * ih * iw;
+    float db = 0.0f;
+    for (int yo = 0; yo < oh; ++yo) {
+      for (int xo = 0; xo < ow; ++xo) {
+        const float g = dy[yo * ow + xo];
+        db += g;
+        for (int kh = 0; kh < kernel_; ++kh) {
+          const int iy = yo * stride_ + kh - pad_;
+          if (iy < 0 || iy >= ih) continue;
+          for (int kw = 0; kw < kernel_; ++kw) {
+            const int ix = xo * stride_ + kw - pad_;
+            if (ix < 0 || ix >= iw) continue;
+            dw[kh * kernel_ + kw] += g * chan[iy * iw + ix];
+            dxc[iy * iw + ix] += g * w[kh * kernel_ + kw];
+          }
+        }
+      }
+    }
+    if (has_bias_) grad_bias_[c] += db;
+  }
+  std::vector<Tensor> grads_in;
+  grads_in.push_back(std::move(dx));
+  return grads_in;
+}
+
+std::vector<Tensor*> DepthwiseConv2D::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::vector<Tensor*> DepthwiseConv2D::grads() {
+  if (has_bias_) return {&grad_weight_, &grad_bias_};
+  return {&grad_weight_};
+}
+
+LayerCost DepthwiseConv2D::cost(const std::vector<Shape>& in) const {
+  const Shape out = output_shape(in);
+  LayerCost c;
+  c.flops = 2LL * kernel_ * kernel_ * out.numel() + (has_bias_ ? out.numel() : 0);
+  c.params = weight_.numel() + (has_bias_ ? bias_.numel() : 0);
+  c.input_elems = in[0].numel();
+  c.output_elems = out.numel();
+  c.kernel = kernel_;
+  return c;
+}
+
+}  // namespace netcut::nn

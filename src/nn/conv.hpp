@@ -1,0 +1,92 @@
+// Standard and depthwise 2-D convolutions. Standard convolutions support
+// rectangular kernels (InceptionV3 factorized 1x7 / 7x1 convolutions);
+// depthwise convolutions are square (3x3 throughout the MobileNet family).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace netcut::nn {
+
+class Conv2D final : public Layer {
+ public:
+  /// Square kernel. pad < 0 means "same"-style padding ((kernel-1)/2).
+  Conv2D(int in_channels, int out_channels, int kernel, int stride = 1, int pad = -1,
+         bool bias = true);
+  /// Rectangular kernel with per-axis "same" padding.
+  Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, int stride, int pad_h,
+         int pad_w, bool bias);
+
+  LayerKind kind() const override { return LayerKind::kConv2D; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Conv2D>(*this); }
+
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  std::vector<Tensor> backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override;
+  std::vector<Tensor*> grads() override;
+  LayerCost cost(const std::vector<Shape>& in) const override;
+
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+  bool has_bias() const { return has_bias_; }
+  int in_channels() const { return in_c_; }
+  int out_channels() const { return out_c_; }
+  int kernel_h() const { return kernel_h_; }
+  int kernel_w() const { return kernel_w_; }
+  int stride() const { return stride_; }
+  int pad_h() const { return pad_h_; }
+  int pad_w() const { return pad_w_; }
+
+ private:
+  tensor::ConvGeometry geometry(const Shape& in) const;
+
+  int in_c_, out_c_, kernel_h_, kernel_w_, stride_, pad_h_, pad_w_;
+  bool has_bias_;
+  Tensor weight_;  // [out_c, in_c, kh, kw]
+  Tensor bias_;    // [out_c]
+  Tensor grad_weight_, grad_bias_;
+
+  // Cached by train-mode forward.
+  Tensor cached_input_;
+};
+
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(int channels, int kernel, int stride = 1, int pad = -1, bool bias = true);
+
+  LayerKind kind() const override { return LayerKind::kDepthwiseConv2D; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<DepthwiseConv2D>(*this);
+  }
+
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  std::vector<Tensor> backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override;
+  std::vector<Tensor*> grads() override;
+  LayerCost cost(const std::vector<Shape>& in) const override;
+
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+  int channels() const { return channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+ private:
+  int channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Tensor weight_;  // [c, 1, k, k]
+  Tensor bias_;    // [c]
+  Tensor grad_weight_, grad_bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace netcut::nn

@@ -1,0 +1,31 @@
+// Finite-difference gradient checking, used by the test suite to validate
+// every layer's backward implementation against its forward.
+#pragma once
+
+#include <functional>
+
+#include "nn/network.hpp"
+
+namespace netcut::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Compares the analytic gradient w.r.t. the network *input* against central
+/// finite differences of `scalar_loss(network_output)`.
+GradCheckResult check_input_gradient(
+    Network& net, const Tensor& input,
+    const std::function<double(const Tensor&)>& scalar_loss,
+    const std::function<Tensor(const Tensor&)>& loss_grad, double eps = 1e-3);
+
+/// Compares analytic parameter gradients against finite differences.
+/// Checks up to `max_params_per_tensor` randomly strided entries per tensor.
+GradCheckResult check_param_gradients(
+    Network& net, const Tensor& input,
+    const std::function<double(const Tensor&)>& scalar_loss,
+    const std::function<Tensor(const Tensor&)>& loss_grad, double eps = 1e-3,
+    int max_params_per_tensor = 16);
+
+}  // namespace netcut::nn

@@ -1,0 +1,62 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/norm.hpp"
+
+namespace netcut::nn {
+
+void he_init_conv(Tensor& weight, util::Rng& rng) {
+  const Shape& s = weight.shape();
+  const double fan_in = static_cast<double>(s[1]) * s[2] * s[3];
+  const double stdev = std::sqrt(2.0 / fan_in);
+  for (std::int64_t i = 0; i < weight.numel(); ++i)
+    weight[i] = static_cast<float>(rng.normal(0.0, stdev));
+}
+
+void xavier_init_dense(Tensor& weight, util::Rng& rng) {
+  const Shape& s = weight.shape();
+  const double bound = std::sqrt(6.0 / (static_cast<double>(s[0]) + s[1]));
+  for (std::int64_t i = 0; i < weight.numel(); ++i)
+    weight[i] = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void init_graph(Graph& graph, util::Rng& rng) {
+  for (int id = 1; id < graph.node_count(); ++id) {
+    Layer& layer = *graph.node(id).layer;
+    switch (layer.kind()) {
+      case LayerKind::kConv2D: {
+        auto& conv = static_cast<Conv2D&>(layer);
+        he_init_conv(conv.weight(), rng);
+        if (conv.has_bias()) conv.bias().fill(0.0f);
+        break;
+      }
+      case LayerKind::kDepthwiseConv2D: {
+        auto& conv = static_cast<DepthwiseConv2D&>(layer);
+        he_init_conv(conv.weight(), rng);
+        if (conv.has_bias()) conv.bias().fill(0.0f);
+        break;
+      }
+      case LayerKind::kDense: {
+        auto& dense = static_cast<Dense&>(layer);
+        xavier_init_dense(dense.weight(), rng);
+        if (dense.has_bias()) dense.bias().fill(0.0f);
+        break;
+      }
+      case LayerKind::kBatchNorm: {
+        auto& bn = static_cast<BatchNorm&>(layer);
+        bn.gamma().fill(1.0f);
+        bn.beta().fill(0.0f);
+        bn.running_mean().fill(0.0f);
+        bn.running_var().fill(1.0f);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace netcut::nn

@@ -1,0 +1,20 @@
+// Weight initialization schemes. These seed cold (non-pretrained) layers;
+// the pseudo-pretrained trunks come from data::PretrainedWeightGenerator.
+#pragma once
+
+#include "nn/graph.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::nn {
+
+/// He-normal fill for a conv weight tensor [O, I, K, K].
+void he_init_conv(Tensor& weight, util::Rng& rng);
+
+/// Xavier-uniform fill for a dense weight tensor [out, in].
+void xavier_init_dense(Tensor& weight, util::Rng& rng);
+
+/// Initialize every parameterized layer of a graph: He for convolutions,
+/// Xavier for dense layers, identity for batch norms, zero biases.
+void init_graph(Graph& graph, util::Rng& rng);
+
+}  // namespace netcut::nn

@@ -1,0 +1,47 @@
+#include "nn/layer.hpp"
+
+#include <stdexcept>
+
+namespace netcut::nn {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "Input";
+    case LayerKind::kConv2D: return "Conv2D";
+    case LayerKind::kDepthwiseConv2D: return "DepthwiseConv2D";
+    case LayerKind::kDense: return "Dense";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kReLU: return "ReLU";
+    case LayerKind::kReLU6: return "ReLU6";
+    case LayerKind::kMaxPool: return "MaxPool";
+    case LayerKind::kAvgPool: return "AvgPool";
+    case LayerKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case LayerKind::kSoftmax: return "Softmax";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kConcat: return "Concat";
+    case LayerKind::kFlatten: return "Flatten";
+  }
+  return "Unknown";
+}
+
+void Layer::zero_grads() {
+  for (Tensor* g : grads()) g->fill(0.0f);
+}
+
+std::int64_t Layer::param_count() const {
+  std::int64_t n = 0;
+  for (const Tensor* p : const_cast<Layer*>(this)->params()) n += p->numel();
+  return n;
+}
+
+void Layer::require_arity(const std::vector<Shape>& in, int arity, const char* who) {
+  if (static_cast<int>(in.size()) != arity)
+    throw std::invalid_argument(std::string(who) + ": wrong input arity");
+}
+
+void Layer::require_arity(const std::vector<const Tensor*>& in, int arity, const char* who) {
+  if (static_cast<int>(in.size()) != arity)
+    throw std::invalid_argument(std::string(who) + ": wrong input arity");
+}
+
+}  // namespace netcut::nn

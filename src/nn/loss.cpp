@@ -1,0 +1,52 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+
+namespace netcut::nn::loss {
+
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& target) {
+  if (logits.shape() != target.shape())
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  const Tensor p = softmax(logits);
+  LossResult r;
+  double ce = 0.0;
+  for (std::int64_t i = 0; i < p.numel(); ++i)
+    ce -= static_cast<double>(target[i]) * std::log(static_cast<double>(p[i]) + 1e-12);
+  r.value = ce;
+  r.grad = Tensor(logits.shape());
+  for (std::int64_t i = 0; i < p.numel(); ++i) r.grad[i] = p[i] - target[i];
+  return r;
+}
+
+double kl_divergence(const Tensor& target, const Tensor& prediction) {
+  if (target.shape() != prediction.shape())
+    throw std::invalid_argument("kl_divergence: shape mismatch");
+  double kl = 0.0;
+  for (std::int64_t i = 0; i < target.numel(); ++i) {
+    const double t = target[i];
+    if (t <= 0.0) continue;
+    kl += t * std::log(t / (static_cast<double>(prediction[i]) + 1e-12));
+  }
+  return kl;
+}
+
+LossResult mse(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape())
+    throw std::invalid_argument("mse: shape mismatch");
+  LossResult r;
+  r.grad = Tensor(prediction.shape());
+  double s = 0.0;
+  const double n = static_cast<double>(prediction.numel());
+  for (std::int64_t i = 0; i < prediction.numel(); ++i) {
+    const double d = prediction[i] - target[i];
+    s += d * d;
+    r.grad[i] = static_cast<float>(2.0 * d / n);
+  }
+  r.value = s / n;
+  return r;
+}
+
+}  // namespace netcut::nn::loss

@@ -1,0 +1,101 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+namespace netcut::nn {
+
+Network::Network(Graph graph) : graph_(std::move(graph)) {
+  graph_.infer_shapes();  // validate eagerly
+}
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  return forward_collect(input, {}, train)[0];
+}
+
+std::vector<Tensor> Network::forward_collect(const Tensor& input,
+                                             const std::vector<int>& collect, bool train) {
+  const int n = graph_.node_count();
+  activations_.assign(static_cast<std::size_t>(n), Tensor());
+  activations_[0] = input;
+  for (int id = 1; id < n; ++id) {
+    Node& nd = graph_.node(id);
+    std::vector<const Tensor*> in;
+    in.reserve(nd.inputs.size());
+    for (int src : nd.inputs) {
+      const Tensor& t = activations_[static_cast<std::size_t>(src)];
+      if (t.empty()) throw std::logic_error("Network::forward: missing activation");
+      in.push_back(&t);
+    }
+    activations_[static_cast<std::size_t>(id)] = nd.layer->forward(in, train);
+  }
+  have_activations_ = true;
+
+  std::vector<Tensor> out;
+  out.reserve(collect.size() + 1);
+  if (collect.empty()) {
+    out.push_back(activations_[static_cast<std::size_t>(graph_.output_node())]);
+  } else {
+    for (int id : collect) {
+      if (id < 0 || id >= n) throw std::out_of_range("Network::forward_collect: bad node id");
+      out.push_back(activations_[static_cast<std::size_t>(id)]);
+    }
+  }
+  return out;
+}
+
+void Network::backward(const Tensor& grad_output) {
+  backward_multi({{graph_.output_node(), grad_output}});
+}
+
+void Network::backward_multi(const std::vector<std::pair<int, Tensor>>& seed_grads) {
+  if (!have_activations_) throw std::logic_error("Network::backward without forward");
+  const int n = graph_.node_count();
+  std::vector<Tensor> grad(static_cast<std::size_t>(n));
+  for (const auto& [node, g] : seed_grads) {
+    if (node < 0 || node >= n) throw std::out_of_range("Network::backward_multi: bad node");
+    Tensor& acc = grad[static_cast<std::size_t>(node)];
+    if (acc.empty())
+      acc = g;
+    else
+      acc += g;
+  }
+  for (int id = n - 1; id >= 1; --id) {
+    Tensor& g = grad[static_cast<std::size_t>(id)];
+    if (g.empty()) continue;  // node not on any path to the output
+    Node& nd = graph_.node(id);
+    std::vector<Tensor> gin = nd.layer->backward(g);
+    if (gin.size() != nd.inputs.size())
+      throw std::logic_error("Network::backward: gradient arity mismatch at node " + nd.name);
+    for (std::size_t i = 0; i < nd.inputs.size(); ++i) {
+      Tensor& acc = grad[static_cast<std::size_t>(nd.inputs[i])];
+      if (acc.empty())
+        acc = std::move(gin[i]);
+      else
+        acc += gin[i];
+    }
+  }
+}
+
+std::vector<Tensor*> Network::params() {
+  std::vector<Tensor*> out;
+  for (int id = 1; id < graph_.node_count(); ++id)
+    for (Tensor* p : graph_.node(id).layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Network::grads() {
+  std::vector<Tensor*> out;
+  for (int id = 1; id < graph_.node_count(); ++id)
+    for (Tensor* g : graph_.node(id).layer->grads()) out.push_back(g);
+  return out;
+}
+
+void Network::zero_grads() {
+  for (int id = 1; id < graph_.node_count(); ++id) graph_.node(id).layer->zero_grads();
+}
+
+Shape Network::output_shape() const {
+  return graph_.infer_shapes()[static_cast<std::size_t>(graph_.output_node())];
+}
+
+}  // namespace netcut::nn

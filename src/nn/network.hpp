@@ -1,0 +1,54 @@
+// Network: an executable wrapper around a Graph. Owns per-node activation
+// storage for forward passes and gradient accumulators for backward passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace netcut::nn {
+
+class Network {
+ public:
+  explicit Network(Graph graph);
+
+  const Graph& graph() const { return graph_; }
+  Graph& graph() { return graph_; }
+
+  /// Run the network on one CHW image (or feature vector); returns the
+  /// output node's activation. With train=true, layers cache for backward
+  /// and activations are retained for the DAG backward pass.
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Forward that also returns the activations of `collect` node ids
+  /// (in the same order). Used to harvest features at candidate cutpoints
+  /// in a single pass.
+  std::vector<Tensor> forward_collect(const Tensor& input, const std::vector<int>& collect,
+                                      bool train = false);
+
+  /// Backpropagate from a gradient w.r.t. the output of the most recent
+  /// train-mode forward. Parameter gradients accumulate in the layers.
+  void backward(const Tensor& grad_output);
+
+  /// Backpropagate from gradients seeded at several nodes simultaneously
+  /// (deep supervision: auxiliary heads contribute to one backward pass).
+  void backward_multi(const std::vector<std::pair<int, Tensor>>& seed_grads);
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  void zero_grads();
+
+  std::int64_t total_flops() const { return graph_.total_cost().flops; }
+  std::int64_t total_params() const { return graph_.total_cost().params; }
+
+  /// Output shape at the declared input resolution.
+  Shape output_shape() const;
+
+ private:
+  Graph graph_;
+  std::vector<Tensor> activations_;  // valid after a train-mode forward
+  bool have_activations_ = false;
+};
+
+}  // namespace netcut::nn

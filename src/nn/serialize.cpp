@@ -1,0 +1,80 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/norm.hpp"
+
+namespace netcut::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4E43574Du;  // "NCWM"
+
+std::vector<Tensor*> persistent_state(Layer& layer) {
+  // Parameters plus whatever non-parameter state must survive (batch-norm
+  // running statistics).
+  std::vector<Tensor*> out = layer.params();
+  if (layer.kind() == LayerKind::kBatchNorm) {
+    auto& bn = static_cast<class BatchNorm&>(layer);
+    out.push_back(&bn.running_mean());
+    out.push_back(&bn.running_var());
+  }
+  return out;
+}
+}  // namespace
+
+void save_params(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  auto put_u32 = [&](std::uint32_t v) { out.write(reinterpret_cast<const char*>(&v), 4); };
+  put_u32(kMagic);
+  put_u32(static_cast<std::uint32_t>(graph.node_count()));
+  for (int id = 1; id < graph.node_count(); ++id) {
+    Layer& layer = *const_cast<Graph&>(graph).node(id).layer;
+    put_u32(static_cast<std::uint32_t>(layer.kind()));
+    const auto tensors = persistent_state(layer);
+    put_u32(static_cast<std::uint32_t>(tensors.size()));
+    for (const Tensor* t : tensors) {
+      put_u32(static_cast<std::uint32_t>(t->numel()));
+      out.write(reinterpret_cast<const char*>(t->data()),
+                static_cast<std::streamsize>(sizeof(float)) * t->numel());
+    }
+  }
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+bool load_params(Graph& graph, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  auto get_u32 = [&]() {
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), 4);
+    if (!in) throw std::runtime_error("load_params: truncated file " + path);
+    return v;
+  };
+  if (get_u32() != kMagic) throw std::runtime_error("load_params: bad magic in " + path);
+  if (get_u32() != static_cast<std::uint32_t>(graph.node_count()))
+    throw std::runtime_error("load_params: node count mismatch in " + path);
+  for (int id = 1; id < graph.node_count(); ++id) {
+    Layer& layer = *graph.node(id).layer;
+    if (get_u32() != static_cast<std::uint32_t>(layer.kind()))
+      throw std::runtime_error("load_params: layer kind mismatch at node " +
+                               std::to_string(id));
+    const auto tensors = persistent_state(layer);
+    if (get_u32() != tensors.size())
+      throw std::runtime_error("load_params: tensor count mismatch at node " +
+                               std::to_string(id));
+    for (Tensor* t : tensors) {
+      if (get_u32() != static_cast<std::uint32_t>(t->numel()))
+        throw std::runtime_error("load_params: tensor size mismatch at node " +
+                                 std::to_string(id));
+      in.read(reinterpret_cast<char*>(t->data()),
+              static_cast<std::streamsize>(sizeof(float)) * t->numel());
+      if (!in) throw std::runtime_error("load_params: truncated tensor data in " + path);
+    }
+  }
+  return true;
+}
+
+}  // namespace nn

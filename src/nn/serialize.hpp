@@ -1,0 +1,25 @@
+// Binary serialization of a graph's persistent state (weights, biases,
+// batch-norm statistics). Used to cache pseudo-pretrained trunks on disk so
+// the pretraining cost is paid once per configuration.
+//
+// Format: magic, node count, then per node: layer-kind tag and each
+// persistent tensor's element count + raw float data. Loading validates
+// the structure matches, so a file can only be loaded into a graph with an
+// identical architecture.
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace netcut::nn {
+
+/// Writes all persistent tensors of the graph. Throws on I/O failure.
+void save_params(const Graph& graph, const std::string& path);
+
+/// Reads persistent tensors into the graph. Returns false (leaving the
+/// graph untouched where possible) when the file is missing; throws on
+/// structural mismatch or corruption.
+bool load_params(Graph& graph, const std::string& path);
+
+}  // namespace netcut::nn

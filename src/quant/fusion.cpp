@@ -1,0 +1,121 @@
+#include "quant/fusion.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+
+namespace netcut::quant {
+
+namespace {
+
+/// Scales output channel `o` of a conv weight by `s` and folds the shift
+/// into the bias.
+void fold_into_conv(nn::Tensor& weight, nn::Tensor& bias, const nn::BatchNorm& bn) {
+  const int O = weight.shape()[0];
+  const std::int64_t per_channel = weight.numel() / O;
+  for (int o = 0; o < O; ++o) {
+    const float inv_std = 1.0f / std::sqrt(bn.running_var()[o] + bn.eps());
+    const float scale = bn.gamma()[o] * inv_std;
+    float* w = weight.data() + static_cast<std::int64_t>(o) * per_channel;
+    for (std::int64_t i = 0; i < per_channel; ++i) w[i] *= scale;
+    bias[o] = bn.beta()[o] + (bias[o] - bn.running_mean()[o]) * scale;
+  }
+}
+
+}  // namespace
+
+nn::Graph fold_batchnorm(const nn::Graph& graph, FusionReport* report) {
+  const int n = graph.node_count();
+  std::vector<int> consumers(static_cast<std::size_t>(n), 0);
+  for (int id = 1; id < n; ++id)
+    for (int src : graph.node(id).inputs) ++consumers[static_cast<std::size_t>(src)];
+
+  // fold_target[bn_id] = conv node id it folds into, or -1.
+  std::vector<int> fold_target(static_cast<std::size_t>(n), -1);
+  for (int id = 1; id < n; ++id) {
+    const nn::Node& nd = graph.node(id);
+    if (nd.layer->kind() != nn::LayerKind::kBatchNorm) continue;
+    if (nd.inputs.size() != 1) continue;
+    const int producer = nd.inputs[0];
+    if (consumers[static_cast<std::size_t>(producer)] != 1) continue;
+    const nn::LayerKind pk = graph.node(producer).layer->kind();
+    if (pk == nn::LayerKind::kConv2D || pk == nn::LayerKind::kDepthwiseConv2D)
+      fold_target[static_cast<std::size_t>(id)] = producer;
+  }
+
+  nn::Graph out;
+  out.add_input(graph.input_shape());
+  std::vector<int> remap(static_cast<std::size_t>(n), -1);
+  remap[0] = 0;
+  int folded = 0;
+
+  for (int id = 1; id < n; ++id) {
+    const nn::Node& nd = graph.node(id);
+    if (fold_target[static_cast<std::size_t>(id)] >= 0) {
+      // The BN disappears; its output is its (already remapped, already
+      // folded) producer conv.
+      const int conv_old = fold_target[static_cast<std::size_t>(id)];
+      const int conv_new = remap[static_cast<std::size_t>(conv_old)];
+      nn::Layer& conv_layer = *out.node(conv_new).layer;
+      const auto& bn = static_cast<const nn::BatchNorm&>(*nd.layer);
+      if (conv_layer.kind() == nn::LayerKind::kConv2D) {
+        auto& conv = static_cast<nn::Conv2D&>(conv_layer);
+        if (!conv.has_bias())
+          throw std::logic_error("fold_batchnorm: conv rebuilt without bias");
+        fold_into_conv(conv.weight(), conv.bias(), bn);
+      } else {
+        auto& conv = static_cast<nn::DepthwiseConv2D&>(conv_layer);
+        if (!conv.has_bias())
+          throw std::logic_error("fold_batchnorm: depthwise conv rebuilt without bias");
+        fold_into_conv(conv.weight(), conv.bias(), bn);
+      }
+      remap[static_cast<std::size_t>(id)] = conv_new;
+      ++folded;
+      continue;
+    }
+
+    std::vector<int> inputs;
+    inputs.reserve(nd.inputs.size());
+    for (int src : nd.inputs) inputs.push_back(remap[static_cast<std::size_t>(src)]);
+
+    std::unique_ptr<nn::Layer> layer;
+    const bool will_absorb_bn =
+        (nd.layer->kind() == nn::LayerKind::kConv2D ||
+         nd.layer->kind() == nn::LayerKind::kDepthwiseConv2D);
+    if (will_absorb_bn && nd.layer->kind() == nn::LayerKind::kConv2D) {
+      // Rebuild with a bias so a following BN can fold its shift in.
+      const auto& conv = static_cast<const nn::Conv2D&>(*nd.layer);
+      auto rebuilt = std::make_unique<nn::Conv2D>(conv.in_channels(), conv.out_channels(),
+                                                  conv.kernel_h(), conv.kernel_w(),
+                                                  conv.stride(), conv.pad_h(), conv.pad_w(),
+                                                  /*bias=*/true);
+      rebuilt->weight() = conv.weight();
+      if (conv.has_bias()) rebuilt->bias() = conv.bias();
+      layer = std::move(rebuilt);
+    } else if (will_absorb_bn) {
+      const auto& conv = static_cast<const nn::DepthwiseConv2D&>(*nd.layer);
+      auto rebuilt = std::make_unique<nn::DepthwiseConv2D>(conv.channels(), conv.kernel(),
+                                                           conv.stride(), conv.pad(),
+                                                           /*bias=*/true);
+      rebuilt->weight() = conv.weight();
+      if (conv.has_bias()) rebuilt->bias() = const_cast<nn::DepthwiseConv2D&>(conv).bias();
+      layer = std::move(rebuilt);
+    } else {
+      layer = nd.layer->clone();
+    }
+    remap[static_cast<std::size_t>(id)] =
+        out.add(std::move(layer), std::move(inputs), nd.name, nd.block_id, nd.block_name);
+  }
+
+  if (report) {
+    report->batchnorms_folded = folded;
+    report->nodes_before = graph.node_count();
+    report->nodes_after = out.node_count();
+  }
+  return out;
+}
+
+}  // namespace netcut::quant

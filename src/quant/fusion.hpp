@@ -1,0 +1,24 @@
+// Layer fusion (Section III-B4): BatchNorm folding into the preceding
+// convolution. This is the mathematical counterpart of the kernel-level
+// fusion the DeviceModel prices — after folding, the BN disappears from the
+// graph entirely and the conv's weights absorb the scale/shift:
+//     W' = W * gamma / sqrt(var + eps),   b' = beta + (b - mean) * gamma / sqrt(var + eps)
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace netcut::quant {
+
+struct FusionReport {
+  int batchnorms_folded = 0;
+  int nodes_before = 0;
+  int nodes_after = 0;
+};
+
+/// Returns a new graph where every BatchNorm whose single producer is a
+/// Conv2D / DepthwiseConv2D (and who is that producer's only consumer) has
+/// been folded away. Convs gain a bias if they had none. Output is
+/// numerically equivalent in inference mode.
+nn::Graph fold_batchnorm(const nn::Graph& graph, FusionReport* report = nullptr);
+
+}  // namespace netcut::quant

@@ -1,0 +1,131 @@
+#include "quant/qnetwork.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/im2col.hpp"
+
+namespace netcut::quant {
+
+QuantizedNetwork::QuantizedNetwork(nn::Graph fused_graph) : net_(std::move(fused_graph)) {
+  // Round-trip every conv/dense weight through per-channel int8 now; the
+  // information loss is baked into the stored weights.
+  for (int id = 1; id < net_.graph().node_count(); ++id) {
+    nn::Layer& layer = *net_.graph().node(id).layer;
+    tensor::Tensor* w = nullptr;
+    switch (layer.kind()) {
+      case nn::LayerKind::kConv2D: w = &static_cast<nn::Conv2D&>(layer).weight(); break;
+      case nn::LayerKind::kDepthwiseConv2D:
+        w = &static_cast<nn::DepthwiseConv2D&>(layer).weight();
+        break;
+      case nn::LayerKind::kDense: w = &static_cast<nn::Dense&>(layer).weight(); break;
+      default: break;
+    }
+    if (!w) continue;
+    const ChannelQuant q = quantize_weights_per_channel(*w);
+    const tensor::Tensor restored = dequantize_weights(q, w->shape());
+    max_weight_error_ = std::max(max_weight_error_, tensor::max_abs_diff(*w, restored));
+    *w = restored;
+  }
+}
+
+void QuantizedNetwork::calibrate(const std::vector<const tensor::Tensor*>& images,
+                                 const CalibrationConfig& config) {
+  scales_ = calibrate_activations(net_, images, config);
+}
+
+tensor::Tensor QuantizedNetwork::forward(const tensor::Tensor& input) {
+  if (!calibrated()) throw std::logic_error("QuantizedNetwork: calibrate first");
+  // Mirror Network::forward but insert an activation round trip after each
+  // node ("quantized on the fly per-tensor", Section III-B4).
+  nn::Graph& g = net_.graph();
+  const int n = g.node_count();
+  std::vector<tensor::Tensor> acts(static_cast<std::size_t>(n));
+  acts[0] = fake_quantize(input, scales_.at(0));
+  for (int id = 1; id < n; ++id) {
+    nn::Node& nd = g.node(id);
+    std::vector<const tensor::Tensor*> in;
+    in.reserve(nd.inputs.size());
+    for (int src : nd.inputs) in.push_back(&acts[static_cast<std::size_t>(src)]);
+    tensor::Tensor y = nd.layer->forward(in, false);
+    acts[static_cast<std::size_t>(id)] = fake_quantize(y, scales_.at(id));
+  }
+  return acts[static_cast<std::size_t>(n - 1)];
+}
+
+tensor::Tensor int8_conv2d(const nn::Conv2D& conv, const tensor::Tensor& input,
+                           const QuantParams& in_params) {
+  const std::vector<std::uint8_t> qin = quantize_tensor(input, in_params);
+  const ChannelQuant qw = quantize_weights_per_channel(conv.weight());
+
+  tensor::ConvGeometry geo;
+  geo.in_c = input.shape()[0];
+  geo.in_h = input.shape()[1];
+  geo.in_w = input.shape()[2];
+  geo.kernel_h = conv.kernel_h();
+  geo.kernel_w = conv.kernel_w();
+  geo.stride = conv.stride();
+  geo.pad_h = conv.pad_h();
+  geo.pad_w = conv.pad_w();
+  const int oh = geo.out_h();
+  const int ow = geo.out_w();
+  const int O = conv.out_channels();
+  const int I = geo.in_c;
+  const int kh = geo.kernel_h, kw = geo.kernel_w;
+
+  tensor::Tensor y(tensor::Shape::chw(O, oh, ow));
+  // Integer accumulation with the zero-point folded in: for padding to be
+  // exact, out-of-bounds taps contribute the zero-point (i.e. real 0).
+  for (int o = 0; o < O; ++o) {
+    const std::int8_t* w = qw.values.data() + static_cast<std::int64_t>(o) * I * kh * kw;
+    const float requant = qw.scales[static_cast<std::size_t>(o)] * in_params.scale;
+    const float bias = conv.has_bias() ? conv.bias()[o] : 0.0f;
+    for (int yo = 0; yo < oh; ++yo) {
+      for (int xo = 0; xo < ow; ++xo) {
+        std::int32_t acc = 0;
+        for (int i = 0; i < I; ++i) {
+          const std::uint8_t* chan =
+              qin.data() + static_cast<std::int64_t>(i) * geo.in_h * geo.in_w;
+          const std::int8_t* wk = w + static_cast<std::int64_t>(i) * kh * kw;
+          for (int r = 0; r < kh; ++r) {
+            const int iy = yo * geo.stride + r - geo.pad_h;
+            for (int s = 0; s < kw; ++s) {
+              const int ix = xo * geo.stride + s - geo.pad_w;
+              const std::int32_t a =
+                  (iy >= 0 && iy < geo.in_h && ix >= 0 && ix < geo.in_w)
+                      ? static_cast<std::int32_t>(chan[iy * geo.in_w + ix])
+                      : in_params.zero_point;
+              acc += (a - in_params.zero_point) * static_cast<std::int32_t>(wk[r * kw + s]);
+            }
+          }
+        }
+        y.at(o, yo, xo) = static_cast<float>(acc) * requant + bias;
+      }
+    }
+  }
+  return y;
+}
+
+tensor::Tensor int8_dense(const nn::Dense& dense, const tensor::Tensor& input,
+                          const QuantParams& in_params) {
+  const std::vector<std::uint8_t> qin = quantize_tensor(input, in_params);
+  const ChannelQuant qw = quantize_weights_per_channel(dense.weight());
+  const int O = dense.out_features();
+  const int I = dense.in_features();
+
+  tensor::Tensor y(tensor::Shape::vec(O));
+  for (int o = 0; o < O; ++o) {
+    const std::int8_t* w = qw.values.data() + static_cast<std::int64_t>(o) * I;
+    std::int32_t acc = 0;
+    for (int i = 0; i < I; ++i)
+      acc += (static_cast<std::int32_t>(qin[static_cast<std::size_t>(i)]) -
+              in_params.zero_point) *
+             static_cast<std::int32_t>(w[i]);
+    y[o] = static_cast<float>(acc) * qw.scales[static_cast<std::size_t>(o)] *
+               in_params.scale +
+           (dense.has_bias() ? dense.bias()[o] : 0.0f);
+  }
+  return y;
+}
+
+}  // namespace netcut::quant

@@ -1,0 +1,59 @@
+// Quantized inference paths.
+//
+//  * QuantizedNetwork: graph-wide simulated-quantization execution — every
+//    node's output passes through a calibrated uint8 round trip and all
+//    conv/dense weights through a per-channel int8 round trip. Measures the
+//    accuracy impact of int8 deployment on any architecture.
+//  * int8_conv2d / int8_dense: genuine integer kernels (uint8 activations x
+//    int8 weights, int32 accumulators, float requantization) proving the
+//    arithmetic the DeviceModel's int8 timing assumes. Unit tests check
+//    them against the simulated-quantization reference.
+#pragma once
+
+#include <map>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "quant/calibrate.hpp"
+
+namespace netcut::quant {
+
+class QuantizedNetwork {
+ public:
+  /// Takes a *fused* inference graph (fold_batchnorm first for best
+  /// accuracy), quantizing weights immediately; activation scales come
+  /// from calibrate().
+  explicit QuantizedNetwork(nn::Graph fused_graph);
+
+  void calibrate(const std::vector<const tensor::Tensor*>& images,
+                 const CalibrationConfig& config = {});
+  bool calibrated() const { return !scales_.empty(); }
+
+  /// Simulated-quantized forward pass.
+  tensor::Tensor forward(const tensor::Tensor& input);
+
+  const nn::Network& network() const { return net_; }
+  const ActivationScales& scales() const { return scales_; }
+
+  /// Max per-channel weight quantization error across all layers.
+  float max_weight_error() const { return max_weight_error_; }
+
+ private:
+  nn::Network net_;  // weights already round-tripped through int8
+  ActivationScales scales_;
+  float max_weight_error_ = 0.0f;
+};
+
+/// Integer convolution: quantizes the input with `in_params`, runs uint8 x
+/// int8 -> int32, and returns the float output via requantization scales.
+/// Bias is added in float. Matches conv.forward on round-tripped weights to
+/// within one activation quantization step.
+tensor::Tensor int8_conv2d(const nn::Conv2D& conv, const tensor::Tensor& input,
+                           const QuantParams& in_params);
+
+/// Integer dense layer, same contract as int8_conv2d.
+tensor::Tensor int8_dense(const nn::Dense& dense, const tensor::Tensor& input,
+                          const QuantParams& in_params);
+
+}  // namespace netcut::quant

@@ -1,0 +1,83 @@
+#include "tensor/gemm.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace netcut::tensor {
+
+namespace {
+
+// Cache-blocked inner kernel: processes C in row panels, keeping a B panel
+// hot. With -O3 -march=native the j loop vectorizes.
+void gemm_impl(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate) {
+  constexpr int kBlockK = 256;
+  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  for (int k0 = 0; k0 < k; k0 += kBlockK) {
+    const int k1 = (k0 + kBlockK < k) ? k0 + kBlockK : k;
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::int64_t>(i) * n;
+      const float* arow = a + static_cast<std::int64_t>(i) * k;
+      for (int kk = k0; kk < k1; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + static_cast<std::int64_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  gemm_impl(a, b, c, m, k, n, /*accumulate=*/false);
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k, int n) {
+  gemm_impl(a, b, c, m, k, n, /*accumulate=*/true);
+}
+
+void gemm_at(const float* a, const float* b, float* c, int m, int k, int n) {
+  // A stored KxM; transpose into a scratch buffer, then run the fast path.
+  std::vector<float> at(static_cast<std::size_t>(m) * k);
+  for (int kk = 0; kk < k; ++kk)
+    for (int i = 0; i < m; ++i)
+      at[static_cast<std::size_t>(i) * k + kk] = a[static_cast<std::size_t>(kk) * m + i];
+  gemm_impl(at.data(), b, c, m, k, n, /*accumulate=*/false);
+}
+
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n) {
+  // B stored NxK. Dot-product formulation; both operands stream row-major.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::int64_t>(i) * k;
+    float* crow = c + static_cast<std::int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::int64_t>(j) * k;
+      float s = 0.0f;
+      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+}
+
+void gemv(const float* a, const float* x, float* y, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::int64_t>(i) * n;
+    float s = 0.0f;
+    for (int j = 0; j < n; ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void gemv_t(const float* a, const float* x, float* y, int m, int n) {
+  for (int j = 0; j < n; ++j) y[j] = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::int64_t>(i) * n;
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    for (int j = 0; j < n; ++j) y[j] += xi * arow[j];
+  }
+}
+
+}  // namespace netcut::tensor

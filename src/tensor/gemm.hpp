@@ -1,0 +1,27 @@
+// Single-precision GEMM kernels. All convolutions and dense layers lower to
+// these via im2col, so this is the hot loop of the whole repository.
+#pragma once
+
+#include <cstdint>
+
+namespace netcut::tensor {
+
+/// C[MxN] = A[MxK] * B[KxN]   (row-major, C overwritten)
+void gemm(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[MxN] += A[MxK] * B[KxN]
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[MxN] = A^T[KxM] * B[KxN]  — A is stored KxM, used transposed.
+void gemm_at(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[MxN] = A[MxK] * B^T[NxK]  — B is stored NxK, used transposed.
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// y[M] = A[MxN] * x[N]
+void gemv(const float* a, const float* x, float* y, int m, int n);
+
+/// y[N] = A^T[MxN] * x[M]
+void gemv_t(const float* a, const float* x, float* y, int m, int n);
+
+}  // namespace netcut::tensor

@@ -1,0 +1,56 @@
+#include "tensor/im2col.hpp"
+
+namespace netcut::tensor {
+
+int same_pad(int kernel) { return (kernel - 1) / 2; }
+
+void im2col(const float* img, const ConvGeometry& g, float* cols) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int patch = g.patch();
+  for (int c = 0; c < g.in_c; ++c) {
+    const float* chan = img + static_cast<std::int64_t>(c) * g.in_h * g.in_w;
+    for (int p = 0; p < patch; ++p) {
+      const int kh = p / g.kernel_w;
+      const int kw = p % g.kernel_w;
+      float* row = cols + (static_cast<std::int64_t>(c) * patch + p) * oh * ow;
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * g.stride + kh - g.pad_h;
+        if (iy < 0 || iy >= g.in_h) {
+          for (int x = 0; x < ow; ++x) row[y * ow + x] = 0.0f;
+          continue;
+        }
+        const float* src = chan + static_cast<std::int64_t>(iy) * g.in_w;
+        for (int x = 0; x < ow; ++x) {
+          const int ix = x * g.stride + kw - g.pad_w;
+          row[y * ow + x] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeometry& g, float* img) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int patch = g.patch();
+  for (int c = 0; c < g.in_c; ++c) {
+    float* chan = img + static_cast<std::int64_t>(c) * g.in_h * g.in_w;
+    for (int p = 0; p < patch; ++p) {
+      const int kh = p / g.kernel_w;
+      const int kw = p % g.kernel_w;
+      const float* row = cols + (static_cast<std::int64_t>(c) * patch + p) * oh * ow;
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * g.stride + kh - g.pad_h;
+        if (iy < 0 || iy >= g.in_h) continue;
+        float* dst = chan + static_cast<std::int64_t>(iy) * g.in_w;
+        for (int x = 0; x < ow; ++x) {
+          const int ix = x * g.stride + kw - g.pad_w;
+          if (ix >= 0 && ix < g.in_w) dst[ix] += row[y * ow + x];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace netcut::tensor

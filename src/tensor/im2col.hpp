@@ -1,0 +1,30 @@
+// im2col / col2im lowering for convolutions, plus the shared output-size
+// arithmetic. Kernels may be rectangular (InceptionV3 uses 1x7 / 7x1
+// factorized convolutions).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace netcut::tensor {
+
+struct ConvGeometry {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int kernel_h = 1, kernel_w = 1;
+  int stride = 1;
+  int pad_h = 0, pad_w = 0;  // symmetric per-axis padding
+  int out_h() const { return (in_h + 2 * pad_h - kernel_h) / stride + 1; }
+  int out_w() const { return (in_w + 2 * pad_w - kernel_w) / stride + 1; }
+  int patch() const { return kernel_h * kernel_w; }
+};
+
+/// Pad so that out = in for stride 1 and odd kernels ("same").
+int same_pad(int kernel);
+
+/// cols has shape [in_c*kernel_h*kernel_w, out_h*out_w] (row-major).
+void im2col(const float* img, const ConvGeometry& g, float* cols);
+
+/// Scatter-add the column matrix back into an image (gradient of im2col).
+/// img must be zero-initialized by the caller.
+void col2im(const float* cols, const ConvGeometry& g, float* img);
+
+}  // namespace netcut::tensor

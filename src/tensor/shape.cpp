@@ -1,0 +1,40 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netcut::tensor {
+
+Shape::Shape(std::initializer_list<int> dims) : dims_(dims) {
+  for (int d : dims_)
+    if (d <= 0) throw std::invalid_argument("Shape: non-positive dimension");
+}
+
+Shape::Shape(std::vector<int> dims) : dims_(std::move(dims)) {
+  for (int d : dims_)
+    if (d <= 0) throw std::invalid_argument("Shape: non-positive dimension");
+}
+
+int Shape::dim(int i) const {
+  if (i < 0 || i >= rank()) throw std::out_of_range("Shape::dim: index out of range");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << 'x';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace netcut::tensor

@@ -1,0 +1,128 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netcut::tensor {
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel())
+    throw std::invalid_argument("Tensor: value count does not match shape");
+}
+
+namespace {
+[[noreturn]] void bad_access() { throw std::out_of_range("Tensor::at: index out of range"); }
+}  // namespace
+
+float& Tensor::at(int c, int h, int w) {
+  if (shape_.rank() != 3) throw std::logic_error("Tensor::at(c,h,w) on non-rank-3 tensor");
+  const int C = shape_[0], H = shape_[1], W = shape_[2];
+  if (c < 0 || c >= C || h < 0 || h >= H || w < 0 || w >= W) bad_access();
+  return data_[static_cast<std::size_t>((static_cast<std::int64_t>(c) * H + h) * W + w)];
+}
+
+float Tensor::at(int c, int h, int w) const { return const_cast<Tensor*>(this)->at(c, h, w); }
+
+float& Tensor::at(int o, int i, int h, int w) {
+  if (shape_.rank() != 4) throw std::logic_error("Tensor::at(o,i,h,w) on non-rank-4 tensor");
+  const int O = shape_[0], I = shape_[1], H = shape_[2], W = shape_[3];
+  if (o < 0 || o >= O || i < 0 || i >= I || h < 0 || h >= H || w < 0 || w >= W) bad_access();
+  return data_[static_cast<std::size_t>(((static_cast<std::int64_t>(o) * I + i) * H + h) * W +
+                                        w)];
+}
+
+float Tensor::at(int o, int i, int h, int w) const {
+  return const_cast<Tensor*>(this)->at(o, i, h, w);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != shape_.numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+namespace {
+void require_same_numel(const Tensor& a, const Tensor& b, const char* fn) {
+  if (a.numel() != b.numel())
+    throw std::invalid_argument(std::string(fn) + ": size mismatch");
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  require_same_numel(*this, rhs, "Tensor::operator+=");
+  for (std::int64_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] += rhs[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  require_same_numel(*this, rhs, "Tensor::operator-=");
+  for (std::int64_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] -= rhs[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& rhs, float s) {
+  require_same_numel(*this, rhs, "Tensor::add_scaled");
+  for (std::int64_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] += s * rhs[i];
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) throw std::logic_error("Tensor::mean on empty tensor");
+  return sum() / static_cast<float>(numel());
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stdev) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, stdev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace netcut::tensor

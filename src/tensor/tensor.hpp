@@ -1,0 +1,68 @@
+// Owning dense float tensor. Row-major, CHW for activations, OIHW for conv
+// weights. Deliberately minimal: the nn layer zoo supplies the math.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+  Tensor(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked CHW element access for rank-3 tensors.
+  float& at(int c, int h, int w);
+  float at(int c, int h, int w) const;
+  /// Bounds-checked OIHW element access for rank-4 tensors.
+  float& at(int o, int i, int h, int w);
+  float at(int o, int i, int h, int w) const;
+
+  void fill(float v);
+  /// Returns a tensor with identical data but a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  // ---- Elementwise helpers (sizes must match) ----
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(float s);
+  void add_scaled(const Tensor& rhs, float s);  // *this += s * rhs
+
+  float sum() const;
+  float max() const;
+  float min() const;
+  /// L2 norm of all elements.
+  float norm() const;
+  /// Mean of all elements.
+  float mean() const;
+
+  // ---- Random fills (deterministic given the Rng) ----
+  static Tensor randn(Shape shape, util::Rng& rng, float stdev = 1.0f);
+  static Tensor uniform(Shape shape, util::Rng& rng, float lo, float hi);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max absolute elementwise difference; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace netcut::tensor

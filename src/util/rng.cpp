@@ -1,0 +1,106 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netcut::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label) {
+  // FNV-1a over the label, mixed with the parent through splitmix64.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  std::uint64_t state = parent ^ h;
+  return splitmix64(state);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& s : s_) s = splitmix64(state);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  if (hi < lo) throw std::invalid_argument("uniform_int: hi < lo");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stdev) { return mean + stdev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    const int j = uniform_int(0, i);
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+  }
+  return idx;
+}
+
+int Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("categorical: non-positive total weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace netcut::util

@@ -1,0 +1,57 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components in this repository (dataset rendering, weight
+// generation, measurement noise, training shuffles) draw from Rng instances
+// seeded explicitly, so every experiment is bit-reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace netcut::util {
+
+/// SplitMix64: used to expand a single seed into stream state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derive a child seed from a parent seed and a label, so independent
+/// components get decorrelated streams ("seed hygiene").
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label);
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Not cryptographic; chosen for speed, quality, and trivially portable
+/// reproducibility (no implementation-defined std::distribution behaviour).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stdev);
+  /// Log-normal with given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<int> permutation(int n);
+
+  /// Sample from an (unnormalized) discrete distribution.
+  int categorical(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace netcut::util

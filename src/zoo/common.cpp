@@ -1,0 +1,55 @@
+#include "zoo/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+
+namespace netcut::zoo {
+
+int make_divisible(double value, int divisor) {
+  int v = std::max(divisor, static_cast<int>(std::round(value / divisor)) * divisor);
+  if (static_cast<double>(v) < 0.9 * value) v += divisor;
+  return v;
+}
+
+int conv_bn_act(Graph& g, int in, int in_c, int out_c, int kernel, int stride,
+                const std::string& name, int block_id, const std::string& block_name,
+                bool relu6) {
+  const int conv = g.add(std::make_unique<nn::Conv2D>(in_c, out_c, kernel, stride, -1, false),
+                         {in}, name + "/conv", block_id, block_name);
+  const int bn =
+      g.add(std::make_unique<nn::BatchNorm>(out_c), {conv}, name + "/bn", block_id, block_name);
+  return g.add(std::make_unique<nn::ReLU>(relu6), {bn}, name + "/act", block_id, block_name);
+}
+
+int conv_bn_act_rect(Graph& g, int in, int in_c, int out_c, int kh, int kw, int stride,
+                     const std::string& name, int block_id, const std::string& block_name) {
+  const int conv = g.add(std::make_unique<nn::Conv2D>(in_c, out_c, kh, kw, stride, (kh - 1) / 2,
+                                                      (kw - 1) / 2, false),
+                         {in}, name + "/conv", block_id, block_name);
+  const int bn =
+      g.add(std::make_unique<nn::BatchNorm>(out_c), {conv}, name + "/bn", block_id, block_name);
+  return g.add(std::make_unique<nn::ReLU>(false), {bn}, name + "/act", block_id, block_name);
+}
+
+int conv_bn(Graph& g, int in, int in_c, int out_c, int kernel, int stride,
+            const std::string& name, int block_id, const std::string& block_name) {
+  const int conv = g.add(std::make_unique<nn::Conv2D>(in_c, out_c, kernel, stride, -1, false),
+                         {in}, name + "/conv", block_id, block_name);
+  return g.add(std::make_unique<nn::BatchNorm>(out_c), {conv}, name + "/bn", block_id,
+               block_name);
+}
+
+int dwconv_bn_act(Graph& g, int in, int channels, int stride, const std::string& name,
+                  int block_id, const std::string& block_name, bool relu6) {
+  const int conv = g.add(std::make_unique<nn::DepthwiseConv2D>(channels, 3, stride, -1, false),
+                         {in}, name + "/dwconv", block_id, block_name);
+  const int bn = g.add(std::make_unique<nn::BatchNorm>(channels), {conv}, name + "/bn", block_id,
+                       block_name);
+  return g.add(std::make_unique<nn::ReLU>(relu6), {bn}, name + "/act", block_id, block_name);
+}
+
+}  // namespace netcut::zoo

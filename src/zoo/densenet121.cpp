@@ -1,0 +1,80 @@
+// DenseNet-121 (Huang et al., 2017): growth rate 32, dense blocks of
+// (6, 12, 24, 16) layers with transition layers between them.
+//
+// Removal granularity: each dense layer (BN-ReLU-1x1-BN-ReLU-3x3-concat) is
+// one removable block, as are the transitions and the final norm — this is
+// what lets DenseNet shed >100 layers with a smooth accuracy curve (Fig 5).
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/combine.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+#include "nn/pooling.hpp"
+
+namespace netcut::zoo {
+
+namespace {
+
+int bn_relu_conv(Graph& g, int in, int in_c, int out_c, int kernel, int stride,
+                 const std::string& name, int block_id, const std::string& bname) {
+  int x = g.add(std::make_unique<nn::BatchNorm>(in_c), {in}, name + "/bn", block_id, bname);
+  x = g.add(std::make_unique<nn::ReLU>(false), {x}, name + "/relu", block_id, bname);
+  return g.add(std::make_unique<nn::Conv2D>(in_c, out_c, kernel, stride, -1, false), {x},
+               name + "/conv", block_id, bname);
+}
+
+int dense_layer(Graph& g, int in, int& in_c, int growth, int block_id,
+                const std::string& bname) {
+  int x = bn_relu_conv(g, in, in_c, 4 * growth, 1, 1, bname + "/squeeze", block_id, bname);
+  x = bn_relu_conv(g, x, 4 * growth, growth, 3, 1, bname + "/grow", block_id, bname);
+  const int cat =
+      g.add(std::make_unique<nn::Concat>(2), {in, x}, bname + "/concat", block_id, bname);
+  in_c += growth;
+  return cat;
+}
+
+int transition(Graph& g, int in, int& in_c, int block_id, const std::string& bname) {
+  const int out_c = in_c / 2;
+  int x = bn_relu_conv(g, in, in_c, out_c, 1, 1, bname, block_id, bname);
+  x = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kAvg, 2, 2, 0), {x}, bname + "/pool",
+            block_id, bname);
+  in_c = out_c;
+  return x;
+}
+
+}  // namespace
+
+nn::Graph build_densenet121(int resolution) {
+  Graph g;
+  const int input = g.add_input(nn::Shape::chw(3, resolution, resolution));
+  const int growth = 32;
+
+  int x = conv_bn_act(g, input, 3, 64, 7, 2, "stem", -1, "");
+  x = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kMax, 3, 2), {x}, "stem/pool");
+
+  const int stage_layers[] = {6, 12, 24, 16};
+  int in_c = 64;
+  int block_id = 0;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int layer = 0; layer < stage_layers[stage]; ++layer) {
+      const std::string bname =
+          "dense" + std::to_string(stage + 1) + "_" + std::to_string(layer + 1);
+      x = dense_layer(g, x, in_c, growth, block_id, bname);
+      ++block_id;
+    }
+    if (stage < 3) {
+      const std::string bname = "transition" + std::to_string(stage + 1);
+      x = transition(g, x, in_c, block_id, bname);
+      ++block_id;
+    }
+  }
+
+  // Final norm, its own removable block.
+  x = g.add(std::make_unique<nn::BatchNorm>(in_c), {x}, "final/bn", block_id, "final_norm");
+  g.add(std::make_unique<nn::ReLU>(false), {x}, "final/relu", block_id, "final_norm");
+  return g;
+}
+
+}  // namespace netcut::zoo

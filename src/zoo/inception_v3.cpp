@@ -1,0 +1,144 @@
+// InceptionV3 (Szegedy et al., 2016), same-padding adaptation so the trunk
+// stays valid at the reduced experiment resolutions. 11 removable modules:
+// 3x InceptionA, ReductionA, 4x InceptionB (factorized 1x7/7x1), ReductionB,
+// 2x InceptionC.
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+#include "nn/combine.hpp"
+#include "nn/pooling.hpp"
+
+namespace netcut::zoo {
+
+namespace {
+
+int avg_pool_3x3_s1(Graph& g, int in, const std::string& name, int block_id,
+                    const std::string& bname) {
+  return g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kAvg, 3, 1, 1), {in}, name,
+               block_id, bname);
+}
+
+int inception_a(Graph& g, int in, int in_c, int pool_features, int block_id,
+                const std::string& bname) {
+  const int b1 = conv_bn_act(g, in, in_c, 64, 1, 1, bname + "/b1x1", block_id, bname);
+
+  int b5 = conv_bn_act(g, in, in_c, 48, 1, 1, bname + "/b5x5_1", block_id, bname);
+  b5 = conv_bn_act(g, b5, 48, 64, 5, 1, bname + "/b5x5_2", block_id, bname);
+
+  int b3 = conv_bn_act(g, in, in_c, 64, 1, 1, bname + "/b3x3dbl_1", block_id, bname);
+  b3 = conv_bn_act(g, b3, 64, 96, 3, 1, bname + "/b3x3dbl_2", block_id, bname);
+  b3 = conv_bn_act(g, b3, 96, 96, 3, 1, bname + "/b3x3dbl_3", block_id, bname);
+
+  int bp = avg_pool_3x3_s1(g, in, bname + "/pool", block_id, bname);
+  bp = conv_bn_act(g, bp, in_c, pool_features, 1, 1, bname + "/pool_proj", block_id, bname);
+
+  return g.add(std::make_unique<nn::Concat>(4), {b1, b5, b3, bp}, bname + "/concat", block_id,
+               bname);
+}
+
+int reduction_a(Graph& g, int in, int in_c, int block_id, const std::string& bname) {
+  const int b3 = conv_bn_act(g, in, in_c, 384, 3, 2, bname + "/b3x3", block_id, bname);
+
+  int bd = conv_bn_act(g, in, in_c, 64, 1, 1, bname + "/b3x3dbl_1", block_id, bname);
+  bd = conv_bn_act(g, bd, 64, 96, 3, 1, bname + "/b3x3dbl_2", block_id, bname);
+  bd = conv_bn_act(g, bd, 96, 96, 3, 2, bname + "/b3x3dbl_3", block_id, bname);
+
+  const int bp = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kMax, 3, 2), {in},
+                       bname + "/pool", block_id, bname);
+
+  return g.add(std::make_unique<nn::Concat>(3), {b3, bd, bp}, bname + "/concat", block_id,
+               bname);
+}
+
+int inception_b(Graph& g, int in, int in_c, int c7, int block_id, const std::string& bname) {
+  const int b1 = conv_bn_act(g, in, in_c, 192, 1, 1, bname + "/b1x1", block_id, bname);
+
+  int b7 = conv_bn_act(g, in, in_c, c7, 1, 1, bname + "/b7x7_1", block_id, bname);
+  b7 = conv_bn_act_rect(g, b7, c7, c7, 1, 7, 1, bname + "/b7x7_2", block_id, bname);
+  b7 = conv_bn_act_rect(g, b7, c7, 192, 7, 1, 1, bname + "/b7x7_3", block_id, bname);
+
+  int bd = conv_bn_act(g, in, in_c, c7, 1, 1, bname + "/b7x7dbl_1", block_id, bname);
+  bd = conv_bn_act_rect(g, bd, c7, c7, 7, 1, 1, bname + "/b7x7dbl_2", block_id, bname);
+  bd = conv_bn_act_rect(g, bd, c7, c7, 1, 7, 1, bname + "/b7x7dbl_3", block_id, bname);
+  bd = conv_bn_act_rect(g, bd, c7, c7, 7, 1, 1, bname + "/b7x7dbl_4", block_id, bname);
+  bd = conv_bn_act_rect(g, bd, c7, 192, 1, 7, 1, bname + "/b7x7dbl_5", block_id, bname);
+
+  int bp = avg_pool_3x3_s1(g, in, bname + "/pool", block_id, bname);
+  bp = conv_bn_act(g, bp, in_c, 192, 1, 1, bname + "/pool_proj", block_id, bname);
+
+  return g.add(std::make_unique<nn::Concat>(4), {b1, b7, bd, bp}, bname + "/concat", block_id,
+               bname);
+}
+
+int reduction_b(Graph& g, int in, int in_c, int block_id, const std::string& bname) {
+  int b3 = conv_bn_act(g, in, in_c, 192, 1, 1, bname + "/b3x3_1", block_id, bname);
+  b3 = conv_bn_act(g, b3, 192, 320, 3, 2, bname + "/b3x3_2", block_id, bname);
+
+  int b7 = conv_bn_act(g, in, in_c, 192, 1, 1, bname + "/b7x7_1", block_id, bname);
+  b7 = conv_bn_act_rect(g, b7, 192, 192, 1, 7, 1, bname + "/b7x7_2", block_id, bname);
+  b7 = conv_bn_act_rect(g, b7, 192, 192, 7, 1, 1, bname + "/b7x7_3", block_id, bname);
+  b7 = conv_bn_act(g, b7, 192, 192, 3, 2, bname + "/b7x7_4", block_id, bname);
+
+  const int bp = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kMax, 3, 2), {in},
+                       bname + "/pool", block_id, bname);
+
+  return g.add(std::make_unique<nn::Concat>(3), {b3, b7, bp}, bname + "/concat", block_id,
+               bname);
+}
+
+int inception_c(Graph& g, int in, int in_c, int block_id, const std::string& bname) {
+  const int b1 = conv_bn_act(g, in, in_c, 320, 1, 1, bname + "/b1x1", block_id, bname);
+
+  int b3 = conv_bn_act(g, in, in_c, 384, 1, 1, bname + "/b3x3_1", block_id, bname);
+  const int b3a = conv_bn_act_rect(g, b3, 384, 384, 1, 3, 1, bname + "/b3x3_2a", block_id, bname);
+  const int b3b = conv_bn_act_rect(g, b3, 384, 384, 3, 1, 1, bname + "/b3x3_2b", block_id, bname);
+  const int b3cat = g.add(std::make_unique<nn::Concat>(2), {b3a, b3b}, bname + "/b3x3_concat",
+                          block_id, bname);
+
+  int bd = conv_bn_act(g, in, in_c, 448, 1, 1, bname + "/b3x3dbl_1", block_id, bname);
+  bd = conv_bn_act(g, bd, 448, 384, 3, 1, bname + "/b3x3dbl_2", block_id, bname);
+  const int bda =
+      conv_bn_act_rect(g, bd, 384, 384, 1, 3, 1, bname + "/b3x3dbl_3a", block_id, bname);
+  const int bdb =
+      conv_bn_act_rect(g, bd, 384, 384, 3, 1, 1, bname + "/b3x3dbl_3b", block_id, bname);
+  const int bdcat = g.add(std::make_unique<nn::Concat>(2), {bda, bdb},
+                          bname + "/b3x3dbl_concat", block_id, bname);
+
+  int bp = avg_pool_3x3_s1(g, in, bname + "/pool", block_id, bname);
+  bp = conv_bn_act(g, bp, in_c, 192, 1, 1, bname + "/pool_proj", block_id, bname);
+
+  return g.add(std::make_unique<nn::Concat>(4), {b1, b3cat, bdcat, bp}, bname + "/concat",
+               block_id, bname);
+}
+
+}  // namespace
+
+nn::Graph build_inception_v3(int resolution) {
+  Graph g;
+  const int input = g.add_input(nn::Shape::chw(3, resolution, resolution));
+
+  // Stem (block id -1: never removed).
+  int x = conv_bn_act(g, input, 3, 32, 3, 2, "stem/conv1", -1, "");
+  x = conv_bn_act(g, x, 32, 32, 3, 1, "stem/conv2", -1, "");
+  x = conv_bn_act(g, x, 32, 64, 3, 1, "stem/conv3", -1, "");
+  x = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kMax, 3, 2), {x}, "stem/pool1");
+  x = conv_bn_act(g, x, 64, 80, 1, 1, "stem/conv4", -1, "");
+  x = conv_bn_act(g, x, 80, 192, 3, 1, "stem/conv5", -1, "");
+  x = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kMax, 3, 2), {x}, "stem/pool2");
+
+  int block = 0;
+  x = inception_a(g, x, 192, 32, block, "mixed" + std::to_string(block)); ++block;  // 256
+  x = inception_a(g, x, 256, 64, block, "mixed" + std::to_string(block)); ++block;  // 288
+  x = inception_a(g, x, 288, 64, block, "mixed" + std::to_string(block)); ++block;  // 288
+  x = reduction_a(g, x, 288, block, "mixed" + std::to_string(block)); ++block;      // 768
+  x = inception_b(g, x, 768, 128, block, "mixed" + std::to_string(block)); ++block;
+  x = inception_b(g, x, 768, 160, block, "mixed" + std::to_string(block)); ++block;
+  x = inception_b(g, x, 768, 160, block, "mixed" + std::to_string(block)); ++block;
+  x = inception_b(g, x, 768, 192, block, "mixed" + std::to_string(block)); ++block;
+  x = reduction_b(g, x, 768, block, "mixed" + std::to_string(block)); ++block;      // 1280
+  x = inception_c(g, x, 1280, block, "mixed" + std::to_string(block)); ++block;     // 2048
+  x = inception_c(g, x, 2048, block, "mixed" + std::to_string(block)); ++block;     // 2048
+  return g;
+}
+
+}  // namespace netcut::zoo

@@ -1,0 +1,39 @@
+// MobileNetV1 (Howard et al., 2017) with width multiplier alpha.
+// Structure: stem conv, then 13 depthwise-separable blocks. Each separable
+// block (dw 3x3 + pw 1x1, both BN+ReLU6) is one removable block.
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::zoo {
+
+nn::Graph build_mobilenet_v1(double alpha, int resolution) {
+  Graph g;
+  const int input = g.add_input(nn::Shape::chw(3, resolution, resolution));
+
+  auto ch = [alpha](int base) { return make_divisible(base * alpha); };
+
+  int x = conv_bn_act(g, input, 3, ch(32), 3, 2, "stem", -1, "", /*relu6=*/true);
+  int in_c = ch(32);
+
+  struct BlockDef {
+    int out;
+    int stride;
+  };
+  const BlockDef defs[] = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},  {512, 2}, {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1},  {1024, 2}, {1024, 1},
+  };
+
+  int block_id = 0;
+  for (const BlockDef& d : defs) {
+    const std::string bname = "sep" + std::to_string(block_id + 1);
+    x = dwconv_bn_act(g, x, in_c, d.stride, bname, block_id, bname, /*relu6=*/true);
+    x = conv_bn_act(g, x, in_c, ch(d.out), 1, 1, bname + "/pw", block_id, bname,
+                    /*relu6=*/true);
+    in_c = ch(d.out);
+    ++block_id;
+  }
+  return g;
+}
+
+}  // namespace netcut::zoo

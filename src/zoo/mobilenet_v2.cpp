@@ -1,0 +1,65 @@
+// MobileNetV2 (Sandler et al., 2018) with width multiplier alpha.
+// Structure: stem conv, 17 inverted-residual bottlenecks from the standard
+// (t, c, n, s) table, and a final 1x1 feature conv. Each bottleneck is a
+// removable block; the final conv is the last removable block.
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+#include "nn/combine.hpp"
+
+namespace netcut::zoo {
+
+namespace {
+
+/// One inverted residual: (optional) 1x1 expand, 3x3 depthwise, 1x1 linear
+/// projection, with a residual Add when the shapes allow it.
+int inverted_residual(Graph& g, int in, int& in_c, int expansion, int out_c, int stride,
+                      int block_id, const std::string& bname) {
+  int x = in;
+  int mid_c = in_c * expansion;
+  if (expansion != 1)
+    x = conv_bn_act(g, x, in_c, mid_c, 1, 1, bname + "/expand", block_id, bname, true);
+  x = dwconv_bn_act(g, x, mid_c, stride, bname + "/dw", block_id, bname, true);
+  x = conv_bn(g, x, mid_c, out_c, 1, 1, bname + "/project", block_id, bname);
+  if (stride == 1 && in_c == out_c)
+    x = g.add(std::make_unique<nn::Add>(2), {in, x}, bname + "/add", block_id, bname);
+  in_c = out_c;
+  return x;
+}
+
+}  // namespace
+
+nn::Graph build_mobilenet_v2(double alpha, int resolution) {
+  Graph g;
+  const int input = g.add_input(nn::Shape::chw(3, resolution, resolution));
+
+  auto ch = [alpha](int base) { return make_divisible(base * alpha); };
+
+  int in_c = ch(32);
+  int x = conv_bn_act(g, input, 3, in_c, 3, 2, "stem", -1, "", true);
+
+  struct StageDef {
+    int t, c, n, s;
+  };
+  const StageDef stages[] = {
+      {1, 16, 1, 1}, {6, 24, 2, 2},  {6, 32, 3, 2}, {6, 64, 4, 2},
+      {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+  };
+
+  int block_id = 0;
+  for (const StageDef& st : stages) {
+    for (int rep = 0; rep < st.n; ++rep) {
+      const std::string bname = "bottleneck" + std::to_string(block_id + 1);
+      const int stride = rep == 0 ? st.s : 1;
+      x = inverted_residual(g, x, in_c, st.t, ch(st.c), stride, block_id, bname);
+      ++block_id;
+    }
+  }
+
+  // Final 1x1 feature conv: 1280, scaled up (but never down) by alpha.
+  const int last_c = alpha > 1.0 ? make_divisible(1280 * alpha) : 1280;
+  conv_bn_act(g, x, in_c, last_c, 1, 1, "features", block_id, "features", true);
+  return g;
+}
+
+}  // namespace netcut::zoo

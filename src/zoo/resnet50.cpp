@@ -1,0 +1,59 @@
+// ResNet-50 (He et al., 2016), v1.5 variant (stride on the 3x3 conv).
+// 16 bottleneck residual blocks in stages of (3, 4, 6, 3); each bottleneck
+// is one removable block.
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/combine.hpp"
+#include "nn/pooling.hpp"
+
+namespace netcut::zoo {
+
+namespace {
+
+int bottleneck(Graph& g, int in, int& in_c, int mid_c, int stride, int block_id,
+               const std::string& bname) {
+  const int out_c = mid_c * 4;
+
+  int x = conv_bn_act(g, in, in_c, mid_c, 1, 1, bname + "/reduce", block_id, bname);
+  x = conv_bn_act(g, x, mid_c, mid_c, 3, stride, bname + "/conv3x3", block_id, bname);
+  x = conv_bn(g, x, mid_c, out_c, 1, 1, bname + "/expand", block_id, bname);
+
+  int shortcut = in;
+  if (stride != 1 || in_c != out_c)
+    shortcut = conv_bn(g, in, in_c, out_c, 1, stride, bname + "/shortcut", block_id, bname);
+
+  const int sum =
+      g.add(std::make_unique<nn::Add>(2), {shortcut, x}, bname + "/add", block_id, bname);
+  in_c = out_c;
+  return g.add(std::make_unique<nn::ReLU>(false), {sum}, bname + "/out", block_id, bname);
+}
+
+}  // namespace
+
+nn::Graph build_resnet50(int resolution) {
+  Graph g;
+  const int input = g.add_input(nn::Shape::chw(3, resolution, resolution));
+
+  int x = conv_bn_act(g, input, 3, 64, 7, 2, "stem", -1, "");
+  x = g.add(std::make_unique<nn::Pool2D>(nn::Pool2D::Mode::kMax, 3, 2), {x}, "stem/pool");
+
+  const int stage_blocks[] = {3, 4, 6, 3};
+  const int stage_mid[] = {64, 128, 256, 512};
+
+  int in_c = 64;
+  int block_id = 0;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int rep = 0; rep < stage_blocks[stage]; ++rep) {
+      const int stride = (stage > 0 && rep == 0) ? 2 : 1;
+      const std::string bname =
+          "res" + std::to_string(stage + 2) + static_cast<char>('a' + rep);
+      x = bottleneck(g, x, in_c, stage_mid[stage], stride, block_id, bname);
+      ++block_id;
+    }
+  }
+  return g;
+}
+
+}  // namespace netcut::zoo

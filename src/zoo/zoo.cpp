@@ -1,0 +1,43 @@
+#include "zoo/zoo.hpp"
+
+#include <stdexcept>
+
+namespace netcut::zoo {
+
+std::vector<NetId> all_nets() {
+  return {NetId::kMobileNetV1_025, NetId::kMobileNetV1_050, NetId::kMobileNetV2_100,
+          NetId::kMobileNetV2_140, NetId::kInceptionV3,     NetId::kResNet50,
+          NetId::kDenseNet121};
+}
+
+std::string net_name(NetId id) {
+  switch (id) {
+    case NetId::kMobileNetV1_025: return "MobileNetV1-0.25";
+    case NetId::kMobileNetV1_050: return "MobileNetV1-0.50";
+    case NetId::kMobileNetV2_100: return "MobileNetV2-1.00";
+    case NetId::kMobileNetV2_140: return "MobileNetV2-1.40";
+    case NetId::kInceptionV3: return "InceptionV3";
+    case NetId::kResNet50: return "ResNet50";
+    case NetId::kDenseNet121: return "DenseNet121";
+  }
+  throw std::invalid_argument("net_name: unknown net");
+}
+
+int native_resolution(NetId id) {
+  return id == NetId::kInceptionV3 ? 299 : 224;
+}
+
+nn::Graph build_trunk(NetId id, int resolution) {
+  switch (id) {
+    case NetId::kMobileNetV1_025: return build_mobilenet_v1(0.25, resolution);
+    case NetId::kMobileNetV1_050: return build_mobilenet_v1(0.50, resolution);
+    case NetId::kMobileNetV2_100: return build_mobilenet_v2(1.00, resolution);
+    case NetId::kMobileNetV2_140: return build_mobilenet_v2(1.40, resolution);
+    case NetId::kInceptionV3: return build_inception_v3(resolution);
+    case NetId::kResNet50: return build_resnet50(resolution);
+    case NetId::kDenseNet121: return build_densenet121(resolution);
+  }
+  throw std::invalid_argument("build_trunk: unknown net");
+}
+
+}  // namespace netcut::zoo

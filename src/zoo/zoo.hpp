@@ -1,0 +1,46 @@
+// The seven ImageNet-pretrained source architectures the paper explores
+// (Section III-B1): MobileNetV1 (0.25, 0.5), MobileNetV2 (1.0, 1.4),
+// InceptionV3, ResNet-50 and DenseNet-121.
+//
+// Builders emit trunks (classification layers already removed) whose nodes
+// are tagged with block ids, so blockwise layer removal has real
+// architectural boundaries to cut at.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace netcut::zoo {
+
+enum class NetId {
+  kMobileNetV1_025,
+  kMobileNetV1_050,
+  kMobileNetV2_100,
+  kMobileNetV2_140,
+  kInceptionV3,
+  kResNet50,
+  kDenseNet121,
+};
+
+/// All seven, in the paper's order.
+std::vector<NetId> all_nets();
+
+std::string net_name(NetId id);
+
+/// Native ImageNet input resolution (224, or 299 for InceptionV3). Latency
+/// is always evaluated at native resolution.
+int native_resolution(NetId id);
+
+/// Build the trunk at the given square input resolution (3 x res x res).
+nn::Graph build_trunk(NetId id, int resolution);
+
+// Individual builders (exposed for tests).
+nn::Graph build_mobilenet_v1(double alpha, int resolution);
+nn::Graph build_mobilenet_v2(double alpha, int resolution);
+nn::Graph build_inception_v3(int resolution);
+nn::Graph build_resnet50(int resolution);
+nn::Graph build_densenet121(int resolution);
+
+}  // namespace netcut::zoo

@@ -1,0 +1,133 @@
+// Latency estimators against the simulated device's ground truth. Most
+// cases use the cheap MobileNet graphs; the SVR-vs-linear ablation needs
+// the full heterogeneous zoo (as in the fig09 bench).
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "util/stats.hpp"
+
+namespace netcut::core {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  LatencyLab lab_;
+};
+
+TEST_F(EstimatorTest, FeaturesShrinkWithCut) {
+  const zoo::NetId net = zoo::NetId::kMobileNetV1_050;
+  const auto cuts = lab_.blockwise(net);
+  const TrnFeatures full = compute_trn_features(lab_, net, lab_.full_cut(net));
+  const TrnFeatures trimmed = compute_trn_features(lab_, net, cuts[4]);
+  EXPECT_LT(trimmed.gflops, full.gflops);
+  EXPECT_LT(trimmed.mparams, full.mparams);
+  EXPECT_LT(trimmed.layer_count, full.layer_count);
+  EXPECT_LT(trimmed.filter_size_sum, full.filter_size_sum);
+  EXPECT_DOUBLE_EQ(trimmed.base_latency_ms, full.base_latency_ms);
+}
+
+TEST_F(EstimatorTest, ProfilerEstimateCloseToMeasured) {
+  ProfilerEstimator est(lab_);
+  const zoo::NetId net = zoo::NetId::kMobileNetV1_050;
+  std::vector<double> estimates, truths;
+  for (int cut : lab_.blockwise(net)) {
+    estimates.push_back(est.estimate_ms(net, cut));
+    truths.push_back(lab_.measured_ms(net, cut));
+  }
+  // The paper reports ~3.5% mean relative error for this estimator.
+  EXPECT_LT(util::mean_relative_error(estimates, truths), 0.15);
+}
+
+TEST_F(EstimatorTest, ProfilerFullNetworkEstimateIsEndToEnd) {
+  ProfilerEstimator est(lab_);
+  const zoo::NetId net = zoo::NetId::kMobileNetV1_025;
+  const double est_full = est.estimate_ms(net, lab_.full_cut(net));
+  const double measured = lab_.measured_ms(net, lab_.full_cut(net));
+  // No layers removed -> the estimate is exactly the profiled end-to-end.
+  EXPECT_NEAR(est_full, measured, measured * 0.05);
+}
+
+TEST_F(EstimatorTest, ProfilerEstimateMonotoneInCut) {
+  ProfilerEstimator est(lab_);
+  const zoo::NetId net = zoo::NetId::kMobileNetV2_100;
+  const auto cuts = lab_.blockwise(net);
+  double prev = 0.0;
+  for (int cut : cuts) {
+    const double e = est.estimate_ms(net, cut);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST_F(EstimatorTest, AnalyticalSvrBeatsLinearBaseline) {
+  // Train on 20% of the TRNs, test on the rest — the paper's split
+  // (Section V-B2). The architecture set must be heterogeneous: within a
+  // single family latency is nearly affine in the features and a linear
+  // model suffices; the RBF kernel's advantage (the paper's 23.81% vs
+  // 4.28% ablation) appears across families.
+  std::vector<LatencySample> samples;
+  for (zoo::NetId net : zoo::all_nets()) {
+    for (int cut : lab_.blockwise(net)) {
+      LatencySample s;
+      s.base = net;
+      s.cut_node = cut;
+      s.features = compute_trn_features(lab_, net, cut);
+      s.measured_ms = lab_.measured_ms(net, cut);
+      samples.push_back(std::move(s));
+    }
+  }
+  std::vector<LatencySample> train, test;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 5 == 2 ? train : test).push_back(samples[i]);
+
+  AnalyticalEstimator svr(lab_, /*grid_search=*/true);
+  svr.fit(train);
+  LinearEstimator lin(lab_);
+  lin.fit(train);
+
+  std::vector<double> svr_pred, lin_pred, truth;
+  for (const LatencySample& s : test) {
+    svr_pred.push_back(svr.predict(s.features));
+    lin_pred.push_back(lin.predict(s.features));
+    truth.push_back(s.measured_ms);
+  }
+  const double svr_err = util::mean_relative_error(svr_pred, truth);
+  const double lin_err = util::mean_relative_error(lin_pred, truth);
+  EXPECT_LT(svr_err, 0.08);
+  EXPECT_LT(svr_err * 2.0, lin_err);
+}
+
+TEST_F(EstimatorTest, EstimatorNamesAreStable) {
+  ProfilerEstimator p(lab_);
+  AnalyticalEstimator a(lab_);
+  LinearEstimator l(lab_);
+  EXPECT_EQ(p.name(), "profiler");
+  EXPECT_EQ(a.name(), "analytical-svr");
+  EXPECT_EQ(l.name(), "linear-regression");
+}
+
+TEST_F(EstimatorTest, UnfittedAnalyticalThrows) {
+  AnalyticalEstimator a(lab_);
+  EXPECT_THROW(a.estimate_ms(zoo::NetId::kMobileNetV1_025, 5), std::logic_error);
+  EXPECT_THROW(a.fit({}), std::invalid_argument);
+}
+
+TEST_F(EstimatorTest, LabMeasurementsMemoized) {
+  const zoo::NetId net = zoo::NetId::kMobileNetV1_025;
+  const int cut = lab_.blockwise(net)[5];
+  const double a = lab_.measured_ms(net, cut);
+  const double b = lab_.measured_ms(net, cut);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NEAR(a, lab_.true_ms(net, cut), a * 0.05);
+}
+
+TEST_F(EstimatorTest, LabNamesFollowPaperConvention) {
+  const zoo::NetId net = zoo::NetId::kMobileNetV1_050;
+  const std::string full = lab_.name(net, lab_.full_cut(net));
+  EXPECT_EQ(full, "MobileNetV1-0.50/81");  // 82 nodes - input
+  const auto cuts = lab_.blockwise(net);
+  EXPECT_EQ(lab_.name(net, cuts[0]), "MobileNetV1-0.50/9");  // stem + first block
+}
+
+}  // namespace
+}  // namespace netcut::core

@@ -1,0 +1,149 @@
+// Algorithm 1 semantics, with both a scripted estimator (exact control over
+// the decision sequence) and the real profiler estimator end to end on the
+// cheap MobileNet family.
+#include <gtest/gtest.h>
+
+#include "core/netcut.hpp"
+
+namespace netcut::core {
+namespace {
+
+data::HandsConfig tiny_data() {
+  data::HandsConfig c;
+  c.resolution = 24;
+  c.train_count = 120;
+  c.test_count = 50;
+  return c;
+}
+
+EvalConfig tiny_eval() {
+  EvalConfig c;
+  c.resolution = 24;
+  c.epochs = 10;
+  c.cache_path.clear();  // no cross-test memoization
+  c.pretrained.source_images = 100;  // light pretraining keeps the suite fast
+  c.pretrained.epochs = 10;
+  return c;
+}
+
+/// Estimator driven by the lab's true latency — deterministic, no noise.
+class OracleEstimator final : public LatencyEstimator {
+ public:
+  explicit OracleEstimator(LatencyLab& lab) : lab_(lab) {}
+  double estimate_ms(zoo::NetId base, int cut) override { return lab_.true_ms(base, cut); }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  LatencyLab& lab_;
+};
+
+class NetCutTest : public ::testing::Test {
+ protected:
+  NetCutTest() : dataset_(tiny_data()), evaluator_(dataset_, tiny_eval()) {}
+
+  LatencyLab lab_;
+  data::HandsDataset dataset_;
+  TrnEvaluator evaluator_;
+};
+
+TEST_F(NetCutTest, FirstFeasibleCutStopsAtDeadline) {
+  OracleEstimator oracle(lab_);
+  NetCut nc(lab_, evaluator_);
+  const zoo::NetId net = zoo::NetId::kMobileNetV2_140;
+
+  const double full = lab_.true_ms(net, lab_.full_cut(net));
+  // Deadline just under the full network: exactly one block must go.
+  int tried = 0;
+  const auto cut = nc.first_feasible_cut(oracle, net, full * 0.98, &tried);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(tried, 2);  // full (too slow) + first TRN
+  EXPECT_LE(cut->second, full * 0.98);
+  EXPECT_LT(cut->first, lab_.full_cut(net));
+
+  // Generous deadline: the full network is selected without cutting.
+  const auto easy = nc.first_feasible_cut(oracle, net, full * 10.0, &tried);
+  ASSERT_TRUE(easy.has_value());
+  EXPECT_EQ(tried, 1);
+  EXPECT_EQ(easy->first, lab_.full_cut(net));
+}
+
+TEST_F(NetCutTest, InfeasibleDeadlineYieldsNoCut) {
+  OracleEstimator oracle(lab_);
+  NetCut nc(lab_, evaluator_);
+  const auto cut =
+      nc.first_feasible_cut(oracle, zoo::NetId::kMobileNetV1_025, 1e-6, nullptr);
+  EXPECT_FALSE(cut.has_value());
+}
+
+TEST_F(NetCutTest, RunRetrainsOnePerNetworkAndPicksBest) {
+  OracleEstimator oracle(lab_);
+  NetCut nc(lab_, evaluator_);
+  NetCutConfig cfg;
+  cfg.networks = {zoo::NetId::kMobileNetV1_025, zoo::NetId::kMobileNetV1_050};
+  cfg.deadline_ms = 0.9;
+  const NetCutResult r = nc.run(oracle, cfg);
+
+  ASSERT_EQ(r.proposals.size(), 2u);
+  EXPECT_EQ(r.networks_retrained, 2);
+  EXPECT_GT(r.exploration_hours, 0.0);
+  ASSERT_GE(r.selected, 0);
+  for (const NetCutProposal& p : r.proposals) {
+    EXPECT_LE(p.estimated_ms, cfg.deadline_ms);
+    EXPECT_GE(r.winner().trn.accuracy, p.trn.accuracy);
+  }
+}
+
+TEST_F(NetCutTest, WinnerMeetsDeadlineByMeasurement) {
+  ProfilerEstimator prof(lab_);
+  NetCut nc(lab_, evaluator_);
+  NetCutConfig cfg;
+  cfg.networks = {zoo::NetId::kMobileNetV1_050, zoo::NetId::kMobileNetV2_100};
+  cfg.deadline_ms = 0.5;
+  const NetCutResult r = nc.run(prof, cfg);
+  ASSERT_GE(r.selected, 0);
+  // Estimation error is ~small; the measured latency should confirm.
+  EXPECT_TRUE(r.winner().meets_deadline)
+      << "measured " << r.winner().trn.latency_ms << " vs deadline " << cfg.deadline_ms;
+}
+
+TEST_F(NetCutTest, EmptyWinnerThrows) {
+  NetCutResult r;
+  EXPECT_THROW(r.winner(), std::logic_error);
+}
+
+TEST_F(NetCutTest, ExplorationCostFarBelowBlockwise) {
+  // The headline claim at mini scale: NetCut's retraining bill must be a
+  // small fraction of exhaustive blockwise exploration over the same nets.
+  OracleEstimator oracle(lab_);
+  NetCut nc(lab_, evaluator_);
+  NetCutConfig cfg;
+  cfg.networks = {zoo::NetId::kMobileNetV1_025, zoo::NetId::kMobileNetV1_050};
+  cfg.deadline_ms = 0.35;
+  const NetCutResult r = nc.run(oracle, cfg);
+
+  BlockwiseExplorer explorer(lab_, evaluator_);
+  double blockwise_hours = 0.0;
+  for (zoo::NetId net : cfg.networks)
+    for (int cut : lab_.blockwise(net)) blockwise_hours += lab_.training_hours(net, cut);
+
+  EXPECT_LT(r.exploration_hours, blockwise_hours / 5.0);
+}
+
+TEST_F(NetCutTest, EvaluatorAccuracyInValidRangeAndCached) {
+  const zoo::NetId net = zoo::NetId::kMobileNetV1_025;
+  const AccuracyResult a = evaluator_.accuracy(net, evaluator_.full_cut(net));
+  EXPECT_GT(a.angular_similarity, 0.4);  // far above random
+  EXPECT_LE(a.angular_similarity, 1.0);
+  EXPECT_GE(a.top1, 0.2);
+  // Memoized second call returns the identical value.
+  const AccuracyResult b = evaluator_.accuracy(net, evaluator_.full_cut(net));
+  EXPECT_DOUBLE_EQ(a.angular_similarity, b.angular_similarity);
+}
+
+TEST_F(NetCutTest, EvaluatorRejectsIllegalCut) {
+  EXPECT_THROW(evaluator_.accuracy(zoo::NetId::kMobileNetV1_025, 2'000'000),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netcut::core

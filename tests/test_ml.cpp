@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_selection.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netcut::ml {
+namespace {
+
+std::pair<std::vector<std::vector<double>>, std::vector<double>> sine_data(int n) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    const double t = 2.0 * i / n;
+    x.push_back({t});
+    y.push_back(std::sin(3.0 * t) + 0.2 * t);
+  }
+  return {x, y};
+}
+
+TEST(Svr, FitsWithinEpsilonTube) {
+  auto [x, y] = sine_data(60);
+  SvrConfig cfg;
+  cfg.gamma = 2.0;
+  cfg.c = 100.0;
+  cfg.epsilon = 0.01;
+  Svr svr(cfg);
+  svr.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LE(std::abs(svr.predict(x[i]) - y[i]), cfg.epsilon + 1e-4);
+}
+
+TEST(Svr, SparseSupportVectors) {
+  auto [x, y] = sine_data(60);
+  SvrConfig cfg;
+  cfg.gamma = 2.0;
+  cfg.c = 100.0;
+  cfg.epsilon = 0.05;  // wide tube -> few SVs
+  Svr svr(cfg);
+  svr.fit(x, y);
+  EXPECT_LT(svr.support_vector_count(), 30);
+  EXPECT_GT(svr.support_vector_count(), 0);
+}
+
+TEST(Svr, CapturesNonlinearityLinearCannot) {
+  auto [x, y] = sine_data(80);
+  SvrConfig cfg;
+  cfg.gamma = 2.0;
+  cfg.c = 1000.0;
+  cfg.epsilon = 0.01;
+  Svr svr(cfg);
+  svr.fit(x, y);
+  LinearRegression lin;
+  lin.fit(x, y);
+  const double svr_rmse = util::rmse(svr.predict(x), y);
+  const double lin_rmse = util::rmse(lin.predict(x), y);
+  EXPECT_LT(svr_rmse, lin_rmse / 5.0);
+}
+
+TEST(Svr, LinearKernelOnLinearData) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back({static_cast<double>(i), static_cast<double>(i % 3)});
+    y.push_back(2.0 * i - 0.5 * (i % 3) + 1.0);
+  }
+  SvrConfig cfg;
+  cfg.kernel = KernelType::kLinear;
+  cfg.c = 1000.0;
+  cfg.epsilon = 0.05;
+  Svr svr(cfg);
+  svr.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(svr.predict(x[i]), y[i], 0.2);
+}
+
+TEST(Svr, RejectsBadInput) {
+  EXPECT_THROW(Svr({.gamma = -1.0}), std::invalid_argument);
+  Svr svr;
+  EXPECT_THROW(svr.fit({{1.0}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(svr.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(LinearRegression, RecoversExactLinearModel) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-2, 2), b = rng.uniform(-2, 2);
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 1.5 * b + 0.7);
+  }
+  LinearRegression lr;
+  lr.fit(x, y);
+  EXPECT_NEAR(lr.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(lr.coefficients()[1], -1.5, 1e-6);
+  EXPECT_NEAR(lr.intercept(), 0.7, 1e-6);
+}
+
+TEST(LinearRegression, SolverHandlesPivoting) {
+  // System whose natural elimination order needs a pivot swap.
+  const auto w = solve_linear_system({{0.0, 1.0}, {1.0, 0.0}}, {2.0, 3.0});
+  EXPECT_NEAR(w[0], 3.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+  EXPECT_THROW(solve_linear_system({{1.0, 1.0}, {1.0, 1.0}}, {1.0, 2.0}),
+               std::runtime_error);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  for (int i = 0; i < 200; ++i) x.push_back({rng.normal(5.0, 3.0), rng.normal(-2.0, 0.5)});
+  Standardizer s;
+  s.fit(x);
+  const auto tx = s.transform(x);
+  double m0 = 0.0, v0 = 0.0;
+  for (const auto& row : tx) m0 += row[0];
+  m0 /= static_cast<double>(tx.size());
+  for (const auto& row : tx) v0 += (row[0] - m0) * (row[0] - m0);
+  v0 /= static_cast<double>(tx.size());
+  EXPECT_NEAR(m0, 0.0, 1e-9);
+  EXPECT_NEAR(v0, 1.0, 1e-9);
+}
+
+TEST(Standardizer, ConstantFeatureStaysFinite) {
+  Standardizer s;
+  s.fit({{1.0, 5.0}, {2.0, 5.0}});
+  const auto t = s.transform(std::vector<double>{1.5, 5.0});
+  EXPECT_TRUE(std::isfinite(t[1]));
+  EXPECT_NEAR(t[1], 0.0, 1e-12);
+}
+
+TEST(KFold, PartitionIsExactAndDisjoint) {
+  const auto folds = kfold(25, 5, 1);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(25, 0);
+  for (const Fold& f : folds) {
+    EXPECT_EQ(f.train_indices.size() + f.test_indices.size(), 25u);
+    for (int i : f.test_indices) ++seen[static_cast<std::size_t>(i)];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);  // each index tested exactly once
+}
+
+TEST(CrossValidate, ScoresAConstantPredictor) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(4.0);
+  }
+  const double err = cross_validate(
+      x, y, 4, 9,
+      [](const auto&, const auto&, const auto& test_x) {
+        return std::vector<double>(test_x.size(), 4.0);
+      },
+      [](const auto& pred, const auto& truth) { return util::rmse(pred, truth); });
+  EXPECT_NEAR(err, 0.0, 1e-12);
+}
+
+TEST(GridSearch, PicksReasonableHyperparameters) {
+  auto [x, y] = sine_data(40);
+  Standardizer s;
+  s.fit(x);
+  const auto points = grid_search_svr(s.transform(x), y, {1e-2, 1.0, 10.0}, {1.0, 100.0}, 5, 3);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_LE(points.front().cv_error, points.back().cv_error);
+  // A sine on standardized inputs needs a non-tiny gamma.
+  EXPECT_GE(points.front().gamma, 1.0);
+}
+
+TEST(Metrics, AngularSimilarityBounds) {
+  tensor::Tensor p(tensor::Shape::vec(3));
+  p[0] = 1.0f;
+  tensor::Tensor q(tensor::Shape::vec(3));
+  q[1] = 1.0f;
+  EXPECT_NEAR(angular_similarity(p, p), 1.0, 1e-6);
+  EXPECT_NEAR(angular_similarity(p, q), 0.0, 1e-6);  // orthogonal -> 2/pi * pi/2
+  EXPECT_NEAR(angular_distance(p, q), 1.0, 1e-6);
+}
+
+TEST(Metrics, AngularSimilaritySymmetric) {
+  tensor::Tensor p(tensor::Shape::vec(3));
+  p[0] = 0.5f; p[1] = 0.3f; p[2] = 0.2f;
+  tensor::Tensor q(tensor::Shape::vec(3));
+  q[0] = 0.2f; q[1] = 0.5f; q[2] = 0.3f;
+  EXPECT_NEAR(angular_similarity(p, q), angular_similarity(q, p), 1e-9);
+  EXPECT_GT(angular_similarity(p, q), 0.3);
+  EXPECT_LT(angular_similarity(p, q), 1.0);
+}
+
+TEST(Metrics, Top1Agreement) {
+  tensor::Tensor a(tensor::Shape::vec(2));
+  a[0] = 0.9f; a[1] = 0.1f;
+  tensor::Tensor b(tensor::Shape::vec(2));
+  b[0] = 0.2f; b[1] = 0.8f;
+  EXPECT_DOUBLE_EQ(top1_agreement({a, b}, {a, a}), 0.5);
+}
+
+}  // namespace
+}  // namespace netcut::ml

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "nn/activation.hpp"
+#include "nn/combine.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/graph.hpp"
+#include "nn/network.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Graph diamond_graph() {
+  // input -> conv -> {branch a: conv, branch b: conv} -> add -> relu
+  Graph g;
+  const int in = g.add_input(Shape::chw(1, 6, 6));
+  const int stem = g.add(std::make_unique<Conv2D>(1, 2, 3, 1), {in}, "stem");
+  const int a = g.add(std::make_unique<Conv2D>(2, 2, 3, 1), {stem}, "a", 0, "blk0");
+  const int b = g.add(std::make_unique<Conv2D>(2, 2, 1, 1), {stem}, "b", 0, "blk0");
+  const int add = g.add(std::make_unique<Add>(2), {a, b}, "add", 0, "blk0");
+  g.add(std::make_unique<ReLU>(false), {add}, "out", 1, "blk1");
+  return g;
+}
+
+TEST(Graph, TopologicalConstructionRules) {
+  Graph g;
+  EXPECT_THROW(g.add(std::make_unique<ReLU>(false), {0}), std::logic_error);
+  g.add_input(Shape::vec(4));
+  EXPECT_THROW(g.add_input(Shape::vec(4)), std::logic_error);
+  EXPECT_THROW(g.add(std::make_unique<ReLU>(false), {5}), std::invalid_argument);
+  EXPECT_THROW(g.add(std::make_unique<ReLU>(false), {}), std::invalid_argument);
+  const int id = g.add(std::make_unique<ReLU>(false), {0});
+  EXPECT_EQ(id, 1);
+  EXPECT_EQ(g.output_node(), 1);
+}
+
+TEST(Graph, ShapeInferenceAndErrors) {
+  Graph g = diamond_graph();
+  const auto shapes = g.infer_shapes();
+  EXPECT_EQ(shapes.back(), Shape::chw(2, 6, 6));
+
+  Graph bad;
+  bad.add_input(Shape::chw(3, 8, 8));
+  bad.add(std::make_unique<Conv2D>(4, 2, 3), {0}, "mismatched");
+  EXPECT_THROW(bad.infer_shapes(), std::invalid_argument);
+}
+
+TEST(Graph, BlocksAreContiguousAndOrdered) {
+  Graph g = diamond_graph();
+  const auto blocks = g.blocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].block_id, 0);
+  EXPECT_EQ(blocks[0].node_count, 3);
+  EXPECT_EQ(blocks[0].last_node, 4);
+  EXPECT_EQ(blocks[1].last_node, 5);
+}
+
+TEST(Graph, DominatorsSkipParallelBranches) {
+  Graph g = diamond_graph();
+  // Nodes: 0 input, 1 stem, 2 a, 3 b, 4 add, 5 relu.
+  const auto doms = g.output_dominators();
+  EXPECT_EQ(doms, (std::vector<int>{1, 4, 5}));
+}
+
+TEST(Graph, PrefixExtractsAncestors) {
+  Graph g = diamond_graph();
+  const Graph p = g.prefix(4);  // up to the add
+  EXPECT_EQ(p.node_count(), 5);
+  EXPECT_EQ(p.output_node(), 4);
+  const auto shapes = p.infer_shapes();
+  EXPECT_EQ(shapes.back(), Shape::chw(2, 6, 6));
+
+  // Prefix at the stem drops both branches.
+  const Graph s = g.prefix(1);
+  EXPECT_EQ(s.node_count(), 2);
+}
+
+TEST(Graph, PrefixDeepCopiesWeights) {
+  Graph g = diamond_graph();
+  Graph p = g.prefix(4);
+  auto& orig = static_cast<Conv2D&>(*g.node(1).layer);
+  auto& copy = static_cast<Conv2D&>(*p.node(1).layer);
+  copy.weight().fill(7.0f);
+  EXPECT_NE(orig.weight()[0], 7.0f);
+}
+
+TEST(Graph, CopySemanticsAreDeep) {
+  Graph g = diamond_graph();
+  Graph g2 = g;
+  auto& orig = static_cast<Conv2D&>(*g.node(1).layer);
+  auto& copy = static_cast<Conv2D&>(*g2.node(1).layer);
+  orig.weight().fill(3.0f);
+  EXPECT_NE(copy.weight()[0], 3.0f);
+}
+
+TEST(Graph, TotalCostAggregates) {
+  Graph g = diamond_graph();
+  const LayerCost c = g.total_cost();
+  EXPECT_GT(c.flops, 0);
+  EXPECT_GT(c.params, 0);
+  EXPECT_EQ(c.kernel, 3);
+}
+
+TEST(Network, ForwardDeterministicAndShaped) {
+  util::Rng rng(1);
+  Graph g = diamond_graph();
+  for (int id = 1; id < g.node_count(); ++id)
+    for (Tensor* p : g.node(id).layer->params()) *p = Tensor::randn(p->shape(), rng, 0.3f);
+  Network net(std::move(g));
+  const Tensor x = Tensor::randn(Shape::chw(1, 6, 6), rng);
+  const Tensor y1 = net.forward(x);
+  const Tensor y2 = net.forward(x);
+  EXPECT_EQ(y1.shape(), Shape::chw(2, 6, 6));
+  EXPECT_LT(tensor::max_abs_diff(y1, y2), 1e-7f);
+}
+
+TEST(Network, ForwardCollectReturnsRequestedNodes) {
+  util::Rng rng(2);
+  Graph g = diamond_graph();
+  Network net(std::move(g));
+  const Tensor x = Tensor::randn(Shape::chw(1, 6, 6), rng);
+  const auto acts = net.forward_collect(x, {1, 4});
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_EQ(acts[0].shape(), Shape::chw(2, 6, 6));
+  EXPECT_EQ(acts[1].shape(), Shape::chw(2, 6, 6));
+  EXPECT_THROW(net.forward_collect(x, {99}), std::out_of_range);
+}
+
+TEST(Network, ParamAndGradListsAlign) {
+  Graph g = diamond_graph();
+  Network net(std::move(g));
+  const auto params = net.params();
+  const auto grads = net.grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_EQ(params[i]->numel(), grads[i]->numel());
+}
+
+TEST(Network, BackwardBeforeForwardThrows) {
+  Graph g = diamond_graph();
+  Network net(std::move(g));
+  Tensor grad(Shape::chw(2, 6, 6));
+  EXPECT_THROW(net.backward(grad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace netcut::nn

@@ -1,0 +1,219 @@
+// Quantization: round-trip properties, BN folding equivalence, calibration,
+// integer kernels vs the float reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/hands.hpp"
+#include "data/pretrained.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/combine.hpp"
+#include "nn/init.hpp"
+#include "nn/norm.hpp"
+#include "quant/calibrate.hpp"
+#include "quant/fusion.hpp"
+#include "quant/qnetwork.hpp"
+#include "quant/quantize.hpp"
+#include "util/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::quant {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(QuantParams, RangeIncludesZeroAndRoundTrips) {
+  const QuantParams p = QuantParams::from_range(0.5f, 4.0f);  // lo pulled to 0
+  EXPECT_EQ(quantize_value(0.0f, p), p.zero_point);
+  EXPECT_NEAR(dequantize_value(quantize_value(0.0f, p), p), 0.0f, 1e-6f);
+  EXPECT_NEAR(dequantize_value(quantize_value(3.7f, p), p), 3.7f, p.scale);
+}
+
+TEST(QuantParams, ErrorBoundedByHalfStep) {
+  util::Rng rng(1);
+  const Tensor x = Tensor::uniform(Shape::vec(1000), rng, -2.0f, 6.0f);
+  const QuantParams p = QuantParams::from_range(-2.0f, 6.0f);
+  EXPECT_LE(quantization_error(x, p), p.scale * 0.5f + 1e-6f);
+}
+
+TEST(QuantParams, ClampsOutOfRange) {
+  const QuantParams p = QuantParams::from_range(-1.0f, 1.0f);
+  EXPECT_EQ(quantize_value(100.0f, p), 255);
+  EXPECT_EQ(quantize_value(-100.0f, p), 0);
+}
+
+TEST(ChannelQuant, PerChannelScalesAndBound) {
+  util::Rng rng(2);
+  Tensor w = Tensor::randn(Shape{4, 3, 3, 3}, rng, 0.2f);
+  // Give channel 2 a much larger range.
+  for (int i = 0; i < 27; ++i) w[2 * 27 + i] *= 20.0f;
+  const ChannelQuant q = quantize_weights_per_channel(w);
+  EXPECT_GT(q.scales[2], q.scales[0] * 5.0f);
+  const Tensor restored = dequantize_weights(q, w.shape());
+  for (int o = 0; o < 4; ++o)
+    for (int i = 0; i < 27; ++i)
+      EXPECT_NEAR(restored[o * 27 + i], w[o * 27 + i], q.scales[static_cast<std::size_t>(o)]);
+}
+
+TEST(Fusion, FoldedGraphIsNumericallyEquivalent) {
+  util::Rng rng(3);
+  nn::Graph g;
+  int x = g.add_input(Shape::chw(3, 8, 8));
+  auto conv = std::make_unique<nn::Conv2D>(3, 6, 3, 1, -1, false);
+  nn::he_init_conv(conv->weight(), rng);
+  x = g.add(std::move(conv), {x}, "conv");
+  auto bn = std::make_unique<nn::BatchNorm>(6);
+  for (int c = 0; c < 6; ++c) {
+    bn->gamma()[c] = static_cast<float>(rng.uniform(0.5, 1.5));
+    bn->beta()[c] = static_cast<float>(rng.normal(0.0, 0.3));
+    bn->running_mean()[c] = static_cast<float>(rng.normal(0.0, 0.5));
+    bn->running_var()[c] = static_cast<float>(rng.uniform(0.3, 2.0));
+  }
+  x = g.add(std::move(bn), {x}, "bn");
+  g.add(std::make_unique<nn::ReLU>(false), {x}, "relu");
+
+  FusionReport report;
+  nn::Graph folded = fold_batchnorm(g, &report);
+  EXPECT_EQ(report.batchnorms_folded, 1);
+  EXPECT_EQ(report.nodes_after, report.nodes_before - 1);
+
+  nn::Network orig(std::move(g)), fused(std::move(folded));
+  const Tensor input = Tensor::randn(Shape::chw(3, 8, 8), rng, 0.7f);
+  EXPECT_LT(tensor::max_abs_diff(orig.forward(input), fused.forward(input)), 1e-4f);
+}
+
+TEST(Fusion, WholeTrunkFoldsAndMatches) {
+  nn::Graph trunk = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 24);
+  data::PretrainedConfig pc;
+  pc.source_images = 40;
+  pc.epochs = 1;  // weights just need to be non-degenerate here
+  data::generate_pretrained_weights(trunk, pc);
+  // Give BNs non-trivial running stats.
+  util::Rng rng(5);
+  for (int id = 1; id < trunk.node_count(); ++id) {
+    if (trunk.node(id).layer->kind() != nn::LayerKind::kBatchNorm) continue;
+    auto& bn = static_cast<nn::BatchNorm&>(*trunk.node(id).layer);
+    for (int c = 0; c < bn.channels(); ++c) {
+      bn.running_mean()[c] = static_cast<float>(rng.normal(0.0, 0.2));
+      bn.running_var()[c] = static_cast<float>(rng.uniform(0.5, 1.5));
+    }
+  }
+
+  FusionReport report;
+  nn::Graph folded = fold_batchnorm(trunk, &report);
+  EXPECT_EQ(report.batchnorms_folded, 27);  // stem + 13 blocks * 2
+
+  nn::Network a(std::move(trunk)), b(std::move(folded));
+  const Tensor x = Tensor::randn(Shape::chw(3, 24, 24), rng, 0.5f);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  EXPECT_LT(tensor::max_abs_diff(ya, yb) / std::max(1.0f, ya.max()), 2e-3f);
+}
+
+TEST(Fusion, SkipsSharedProducers) {
+  // BN whose producer feeds two consumers must not fold.
+  nn::Graph g;
+  int in = g.add_input(Shape::chw(2, 4, 4));
+  int conv = g.add(std::make_unique<nn::Conv2D>(2, 2, 1, 1), {in}, "conv");
+  int bn = g.add(std::make_unique<nn::BatchNorm>(2), {conv}, "bn");
+  g.add(std::make_unique<nn::Add>(2), {conv, bn}, "add");  // conv used twice
+  FusionReport report;
+  fold_batchnorm(g, &report);
+  EXPECT_EQ(report.batchnorms_folded, 0);
+}
+
+TEST(Calibrate, ObservedRangesCoverActivations) {
+  util::Rng rng(4);
+  nn::Graph g;
+  int x = g.add_input(Shape::chw(1, 4, 4));
+  auto conv = std::make_unique<nn::Conv2D>(1, 2, 3, 1);
+  nn::he_init_conv(conv->weight(), rng);
+  g.add(std::move(conv), {x}, "conv");
+  nn::Network net(std::move(g));
+
+  std::vector<Tensor> imgs;
+  for (int i = 0; i < 10; ++i) imgs.push_back(Tensor::randn(Shape::chw(1, 4, 4), rng));
+  std::vector<const Tensor*> ptrs;
+  for (const auto& t : imgs) ptrs.push_back(&t);
+
+  CalibrationConfig cc;
+  cc.policy = ScalePolicy::kMinMax;
+  const ActivationScales scales = calibrate_activations(net, ptrs, cc);
+  ASSERT_EQ(scales.size(), 2u);  // input + conv
+  // Re-run an image: all activations must quantize within range (no clamp
+  // beyond one step at the extremes).
+  const Tensor y = net.forward(imgs[0]);
+  const QuantParams p = scales.at(1);
+  EXPECT_LE(quantization_error(y, p), p.scale * 0.51f);
+}
+
+TEST(QuantizedNetwork, AccuracyImpactIsSmall) {
+  util::Rng rng(6);
+  nn::Graph g;
+  int x = g.add_input(Shape::chw(2, 6, 6));
+  auto conv = std::make_unique<nn::Conv2D>(2, 4, 3, 1);
+  nn::he_init_conv(conv->weight(), rng);
+  x = g.add(std::move(conv), {x}, "conv");
+  x = g.add(std::make_unique<nn::ReLU>(false), {x}, "relu");
+  auto conv2 = std::make_unique<nn::Conv2D>(4, 3, 1, 1);
+  nn::he_init_conv(conv2->weight(), rng);
+  g.add(std::move(conv2), {x}, "conv2");
+  nn::Network ref(g);  // copy keeps fp32 weights
+
+  QuantizedNetwork qnet(std::move(g));
+  std::vector<Tensor> imgs;
+  for (int i = 0; i < 12; ++i) imgs.push_back(Tensor::randn(Shape::chw(2, 6, 6), rng, 0.7f));
+  std::vector<const Tensor*> ptrs;
+  for (const auto& t : imgs) ptrs.push_back(&t);
+  qnet.calibrate(ptrs);
+
+  const Tensor probe = Tensor::randn(Shape::chw(2, 6, 6), rng, 0.7f);
+  const Tensor yf = ref.forward(probe);
+  const Tensor yq = qnet.forward(probe);
+  const float scale = std::max(std::abs(yf.max()), std::abs(yf.min()));
+  EXPECT_LT(tensor::max_abs_diff(yf, yq), 0.1f * scale + 0.05f);
+  EXPECT_GT(tensor::max_abs_diff(yf, yq), 0.0f);  // quantization is lossy
+}
+
+TEST(Int8Kernels, ConvMatchesFloatReferenceOnQuantizedWeights) {
+  util::Rng rng(7);
+  nn::Conv2D conv(2, 3, 3, 2);
+  nn::he_init_conv(conv.weight(), rng);
+  for (int o = 0; o < 3; ++o) conv.bias()[o] = static_cast<float>(rng.normal(0.0, 0.1));
+
+  const Tensor x = Tensor::uniform(Shape::chw(2, 7, 7), rng, -1.0f, 1.0f);
+  const QuantParams in_p = QuantParams::from_range(-1.0f, 1.0f);
+
+  // Reference: float conv over int8-round-tripped weights and activations.
+  nn::Conv2D ref = conv;
+  const ChannelQuant qw = quantize_weights_per_channel(conv.weight());
+  ref.weight() = dequantize_weights(qw, conv.weight().shape());
+  const Tensor xq = fake_quantize(x, in_p);
+  const Tensor want = ref.forward({&xq}, false);
+
+  const Tensor got = int8_conv2d(conv, x, in_p);
+  EXPECT_LT(tensor::max_abs_diff(want, got), 1e-3f);
+}
+
+TEST(Int8Kernels, DenseMatchesFloatReference) {
+  util::Rng rng(8);
+  nn::Dense dense(10, 4);
+  nn::xavier_init_dense(dense.weight(), rng);
+  const Tensor x = Tensor::uniform(Shape::vec(10), rng, 0.0f, 2.0f);
+  const QuantParams in_p = QuantParams::from_range(0.0f, 2.0f);
+
+  nn::Dense ref = dense;
+  const ChannelQuant qw = quantize_weights_per_channel(dense.weight());
+  ref.weight() = dequantize_weights(qw, dense.weight().shape());
+  const Tensor xq = fake_quantize(x, in_p);
+  const Tensor want = ref.forward({&xq}, false);
+
+  const Tensor got = int8_dense(dense, x, in_p);
+  EXPECT_LT(tensor::max_abs_diff(want, got), 1e-4f);
+}
+
+}  // namespace
+}  // namespace netcut::quant

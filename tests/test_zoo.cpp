@@ -1,0 +1,149 @@
+// Architecture-level checks on the seven-network zoo: parameter counts in
+// the published ballpark, block structure, resolution scaling, and forward
+// executability at experiment resolution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::zoo {
+namespace {
+
+using nn::Graph;
+
+struct ZooCase {
+  NetId id;
+  int expected_blocks;
+  double params_millions_lo;
+  double params_millions_hi;
+};
+
+class ZooStructure : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooStructure, BuildsWithExpectedBlocksAndParams) {
+  const ZooCase c = GetParam();
+  const Graph g = build_trunk(c.id, native_resolution(c.id));
+  EXPECT_EQ(static_cast<int>(g.blocks().size()), c.expected_blocks);
+  const double mparams = static_cast<double>(g.total_cost().params) / 1e6;
+  EXPECT_GE(mparams, c.params_millions_lo) << net_name(c.id);
+  EXPECT_LE(mparams, c.params_millions_hi) << net_name(c.id);
+}
+
+TEST_P(ZooStructure, BlockEndsAreDominators) {
+  // Every blockwise cut site must be a legal single-tensor cut.
+  const ZooCase c = GetParam();
+  const Graph g = build_trunk(c.id, 64);
+  const auto doms = g.output_dominators();
+  for (const nn::BlockInfo& b : g.blocks())
+    EXPECT_NE(std::find(doms.begin(), doms.end(), b.last_node), doms.end())
+        << net_name(c.id) << " block " << b.name;
+}
+
+TEST_P(ZooStructure, NodeIdsAreResolutionInvariant) {
+  const ZooCase c = GetParam();
+  const Graph a = build_trunk(c.id, 32);
+  const Graph b = build_trunk(c.id, native_resolution(c.id));
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (int id = 1; id < a.node_count(); ++id) {
+    EXPECT_EQ(a.node(id).name, b.node(id).name);
+    EXPECT_EQ(a.node(id).block_id, b.node(id).block_id);
+    EXPECT_EQ(a.node(id).inputs, b.node(id).inputs);
+  }
+}
+
+TEST_P(ZooStructure, ForwardRunsAtExperimentResolution) {
+  const ZooCase c = GetParam();
+  Graph g = build_trunk(c.id, 32);
+  util::Rng rng(1);
+  nn::init_graph(g, rng);
+  nn::Network net(std::move(g));
+  const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape::chw(3, 32, 32), rng, 0.5f);
+  const tensor::Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape().rank(), 3);
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(y.numel(), 64); ++i)
+    EXPECT_TRUE(std::isfinite(y[i]));
+}
+
+// Published trunk parameter counts: MobileNetV1-0.25 ~0.21M, -0.5 ~0.8M,
+// MobileNetV2-1.0 ~2.2M, -1.4 ~4.3M, InceptionV3 ~21.8M, ResNet-50 ~23.5M,
+// DenseNet-121 ~7.0M.
+INSTANTIATE_TEST_SUITE_P(
+    AllNets, ZooStructure,
+    ::testing::Values(ZooCase{NetId::kMobileNetV1_025, 13, 0.15, 0.30},
+                      ZooCase{NetId::kMobileNetV1_050, 13, 0.70, 0.95},
+                      ZooCase{NetId::kMobileNetV2_100, 18, 2.0, 2.5},
+                      ZooCase{NetId::kMobileNetV2_140, 18, 4.0, 4.7},
+                      ZooCase{NetId::kInceptionV3, 11, 20.5, 23.0},
+                      ZooCase{NetId::kResNet50, 16, 22.5, 24.5},
+                      ZooCase{NetId::kDenseNet121, 62, 6.5, 7.5}),
+    [](const ::testing::TestParamInfo<ZooCase>& info) {
+      std::string n = net_name(info.param.id);
+      for (char& ch : n)
+        if (ch == '-' || ch == '.') ch = '_';
+      return n;
+    });
+
+TEST(Zoo, SevenNetworksInPaperOrder) {
+  const auto nets = all_nets();
+  ASSERT_EQ(nets.size(), 7u);
+  EXPECT_EQ(net_name(nets[0]), "MobileNetV1-0.25");
+  EXPECT_EQ(net_name(nets[6]), "DenseNet121");
+}
+
+TEST(Zoo, NativeResolutions) {
+  EXPECT_EQ(native_resolution(NetId::kInceptionV3), 299);
+  EXPECT_EQ(native_resolution(NetId::kResNet50), 224);
+}
+
+TEST(Zoo, MakeDivisibleRounding) {
+  EXPECT_EQ(make_divisible(32 * 0.25), 8);
+  EXPECT_EQ(make_divisible(24 * 1.4), 32);   // 33.6 -> 32
+  EXPECT_EQ(make_divisible(3.0), 8);         // floor at divisor
+  EXPECT_EQ(make_divisible(100.0), 104);     // 100 -> 96 < 0.9*100 -> bump to 104
+}
+
+TEST(Zoo, WidthMultiplierScalesChannels) {
+  const Graph quarter = build_mobilenet_v1(0.25, 64);
+  const Graph half = build_mobilenet_v1(0.5, 64);
+  const auto qs = quarter.infer_shapes();
+  const auto hs = half.infer_shapes();
+  EXPECT_EQ(qs.back()[0] * 2, hs.back()[0]);
+}
+
+TEST(Zoo, MobileNetV2FinalConvIsItsOwnBlock) {
+  const Graph g = build_mobilenet_v2(1.0, 224);
+  const auto blocks = g.blocks();
+  EXPECT_EQ(blocks.back().name, "features");
+  const auto shapes = g.infer_shapes();
+  EXPECT_EQ(shapes.back()[0], 1280);
+}
+
+TEST(Zoo, ResNetBottleneckExpansion) {
+  const Graph g = build_resnet50(224);
+  const auto shapes = g.infer_shapes();
+  EXPECT_EQ(shapes.back(), tensor::Shape::chw(2048, 7, 7));
+}
+
+TEST(Zoo, DenseNetGrowthAccumulates) {
+  const Graph g = build_densenet121(224);
+  const auto shapes = g.infer_shapes();
+  EXPECT_EQ(shapes.back(), tensor::Shape::chw(1024, 7, 7));
+  // First dense block ends at 64 + 6*32 = 256 channels.
+  const auto blocks = g.blocks();
+  EXPECT_EQ(shapes[static_cast<std::size_t>(blocks[5].last_node)][0], 256);
+}
+
+TEST(Zoo, InceptionConcatWidths) {
+  const Graph g = build_inception_v3(299);
+  const auto shapes = g.infer_shapes();
+  EXPECT_EQ(shapes.back()[0], 2048);
+}
+
+}  // namespace
+}  // namespace netcut::zoo
