@@ -1,9 +1,19 @@
 // Substrate micro-benchmarks (google-benchmark): the kernels everything
 // else is built on, plus end-to-end inference of representative networks at
 // experiment resolution, the SVR fit, and the TRN construction path.
+//
+// `--json <path>` switches to a self-timed kernel sweep that appends one
+// JSON array of {kernel, m, k, n, gflops, ms} records to <path>, so the
+// perf trajectory of the GEMM/conv substrate can be tracked across PRs
+// (see BENCH_kernels.json).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "core/trn.hpp"
 #include "data/hands.hpp"
@@ -135,6 +145,105 @@ void BM_HandsRender(benchmark::State& state) {
 }
 BENCHMARK(BM_HandsRender);
 
+struct KernelRecord {
+  const char* kernel;
+  int m, k, n;
+  double gflops = 0.0;
+  double ms = 0.0;
+};
+
+/// Best-of-reps wall time of fn(), in milliseconds.
+template <typename Fn>
+double time_best_ms(Fn&& fn, int warmup = 2, int reps = 5) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+int run_json_sweep(const std::string& path) {
+  util::Rng rng(42);
+  std::vector<KernelRecord> records;
+
+  auto gemm_like = [&](const char* name, int m, int k, int n, auto&& kernel) {
+    const auto a = tensor::Tensor::randn(tensor::Shape{m, k}, rng);
+    const auto b = tensor::Tensor::randn(tensor::Shape{k, n}, rng);
+    tensor::Tensor c(tensor::Shape{m, n});
+    KernelRecord r{name, m, k, n};
+    r.ms = time_best_ms([&] {
+      kernel(a.data(), b.data(), c.data(), m, k, n);
+      benchmark::DoNotOptimize(c.data());
+    });
+    r.gflops = 2.0 * m * k * n / (r.ms * 1e6);
+    records.push_back(r);
+  };
+
+  for (const int s : {64, 128, 256, 512})
+    gemm_like("gemm", s, s, s, tensor::gemm);
+  // Transposed variants at the shapes Conv2D::backward exercises. Operand
+  // layouts differ from plain gemm ([k x m] A, [n x k] B) but the random
+  // fill only cares about element count, so the timing is representative.
+  gemm_like("gemm_at", 256, 256, 256, tensor::gemm_at);
+  gemm_like("gemm_bt", 256, 256, 256, tensor::gemm_bt);
+
+  for (const int c : {16, 64}) {
+    nn::Conv2D conv(c, c, 3, 1);
+    nn::he_init_conv(conv.weight(), rng);
+    const auto x = tensor::Tensor::randn(tensor::Shape::chw(c, 16, 16), rng);
+    // im2col lowering: m = out_c, k = in_c*3*3, n = oh*ow.
+    KernelRecord r{"conv3x3", c, c * 9, 16 * 16};
+    r.ms = time_best_ms([&] {
+      auto y = conv.forward({&x}, false);
+      benchmark::DoNotOptimize(y.data());
+    });
+    r.gflops = 2.0 * r.m * r.k * r.n / (r.ms * 1e6);
+    records.push_back(r);
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "micro_kernels: cannot open " << path << "\n";
+    return 1;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const KernelRecord& r = records[i];
+    out << "  {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m << ", \"k\": " << r.k
+        << ", \"n\": " << r.n << ", \"gflops\": " << r.gflops << ", \"ms\": " << r.ms << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << records.size() << " kernel records to " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  // Strip --json <path> / --json=<path> before google-benchmark sees argv.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  if (!json_path.empty()) return run_json_sweep(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "ml/metrics.hpp"
 #include "ml/model_selection.hpp"
+#include "util/thread_pool.hpp"
 #include "nn/activation.hpp"
 #include "nn/dense.hpp"
 #include "nn/init.hpp"
@@ -22,13 +23,14 @@ namespace {
 /// Channel means of a CHW activation — the GlobalAvgPool feature vector.
 tensor::Tensor gap(const tensor::Tensor& act) {
   const int C = act.shape()[0];
-  const int hw = act.shape()[1] * act.shape()[2];
+  const std::size_t hw =
+      static_cast<std::size_t>(act.shape()[1]) * static_cast<std::size_t>(act.shape()[2]);
   tensor::Tensor out(tensor::Shape::vec(C));
   for (int c = 0; c < C; ++c) {
-    const float* chan = act.data() + static_cast<std::int64_t>(c) * hw;
+    const float* chan = act.data() + static_cast<std::size_t>(c) * hw;
     double s = 0.0;
-    for (int i = 0; i < hw; ++i) s += chan[i];
-    out[c] = static_cast<float>(s / hw);
+    for (std::size_t i = 0; i < hw; ++i) s += chan[i];
+    out[c] = static_cast<float>(s / static_cast<double>(hw));
   }
   return out;
 }
@@ -52,6 +54,10 @@ TrnEvaluator::TrnEvaluator(const data::HandsDataset& dataset, EvalConfig config)
 }
 
 TrnEvaluator::NetState& TrnEvaluator::state(zoo::NetId base) {
+  // Held across materialization: concurrent callers for the same base block
+  // until the one extraction pass finishes, then share the features
+  // (std::map references stay valid across later insertions).
+  std::lock_guard<std::mutex> lock(states_mutex_);
   auto it = states_.find(base);
   if (it != states_.end()) return it->second;
 
@@ -74,15 +80,32 @@ TrnEvaluator::NetState& TrnEvaluator::state(zoo::NetId base) {
 
   st.cutpoints = iterative_cutpoints(st.net->graph());
 
-  // One pass per image, harvesting GAP features at every cut site.
+  // One pass per image, harvesting GAP features at every cut site. Images
+  // are independent, so the pass is partitioned across the pool; each chunk
+  // runs on a private clone of the frozen trunk (Network::forward_collect
+  // keeps per-instance activation state) and writes features by image index,
+  // which makes the result independent of the thread count.
   auto harvest = [&](const std::vector<data::Sample>& samples,
                      std::map<int, std::vector<tensor::Tensor>>& into) {
-    for (const data::Sample& s : samples) {
-      const std::vector<tensor::Tensor> acts =
-          st.net->forward_collect(s.image, st.cutpoints, /*train=*/false);
-      for (std::size_t k = 0; k < st.cutpoints.size(); ++k)
-        into[st.cutpoints[k]].push_back(gap(acts[k]));
-    }
+    const std::int64_t n = static_cast<std::int64_t>(samples.size());
+    for (int cp : st.cutpoints) into[cp].assign(static_cast<std::size_t>(n), tensor::Tensor());
+    const int threads = util::num_threads();
+    const bool parallel = threads > 1 && !util::ThreadPool::in_worker() && n > 1;
+    const std::int64_t grain = parallel ? (n + threads - 1) / threads : n;
+    util::parallel_for(0, n, grain, [&](std::int64_t b, std::int64_t e) {
+      nn::Network* net = st.net.get();
+      std::unique_ptr<nn::Network> local;
+      if (parallel) {
+        local = std::make_unique<nn::Network>(st.net->graph());
+        net = local.get();
+      }
+      for (std::int64_t i = b; i < e; ++i) {
+        const std::vector<tensor::Tensor> acts = net->forward_collect(
+            samples[static_cast<std::size_t>(i)].image, st.cutpoints, /*train=*/false);
+        for (std::size_t k = 0; k < st.cutpoints.size(); ++k)
+          into[st.cutpoints[k]][static_cast<std::size_t>(i)] = gap(acts[k]);
+      }
+    });
   };
   harvest(dataset_.train(), st.train_features);
   harvest(dataset_.test(), st.test_features);
@@ -132,9 +155,12 @@ void TrnEvaluator::append_cache(const std::string& key, const AccuracyResult& r)
 }
 
 AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {
-  if (!cache_loaded_) load_cache();
   const std::string key = cache_key(base, cut_node);
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!cache_loaded_) load_cache();
+    if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  }
 
   NetState& st = state(base);
   const auto train_it = st.train_features.find(cut_node);
@@ -153,8 +179,11 @@ AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {
   const std::uint64_t seed =
       util::derive_seed(config_.seed, key);
   const AccuracyResult r = train_head_on_features(train_x, train_y, test_x, test_y, seed);
-  cache_[key] = r;
-  append_cache(key, r);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_[key] = r;
+    append_cache(key, r);
+  }
   return r;
 }
 

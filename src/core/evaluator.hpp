@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,8 +52,17 @@ class TrnEvaluator {
   TrnEvaluator(const data::HandsDataset& dataset, EvalConfig config);
 
   /// Accuracy of the TRN cut at `cut_node` (a trunk node id; use
-  /// full_cut(base) for the untrimmed network). Memoized.
+  /// full_cut(base) for the untrimmed network). Memoized. Thread-safe:
+  /// concurrent calls for the same base share one feature extraction and a
+  /// mutex-guarded memo; per-cut head training is independent and seeded
+  /// from the cut key, so results are identical at any thread count.
   AccuracyResult accuracy(zoo::NetId base, int cut_node);
+
+  /// Materialize the per-base trunk features up front (runs the parallel
+  /// feature-extraction pass). Callers that fan accuracy() calls out across
+  /// pool workers should prepare first so the expensive extraction happens
+  /// at the outer parallelism level exactly once.
+  void prepare(zoo::NetId base) { state(base); }
 
   /// Cut node id representing "no removal" for this base network.
   int full_cut(zoo::NetId base);
@@ -93,6 +103,8 @@ class TrnEvaluator {
   std::map<zoo::NetId, std::vector<int>> structure_;  // cutpoints w/o features
   std::map<std::string, AccuracyResult> cache_;
   bool cache_loaded_ = false;
+  std::mutex states_mutex_;  // guards states_ (held across materialization)
+  std::mutex cache_mutex_;   // guards cache_, cache_loaded_, the memo file
 };
 
 }  // namespace netcut::core

@@ -1,11 +1,13 @@
 #include "core/explorer.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace netcut::core {
 
 BlockwiseExplorer::BlockwiseExplorer(LatencyLab& lab, TrnEvaluator& evaluator)
     : lab_(lab), evaluator_(evaluator) {}
 
-Candidate BlockwiseExplorer::evaluate_cut(zoo::NetId base, int cut_node, int blocks_removed) {
+Candidate BlockwiseExplorer::lab_stub(zoo::NetId base, int cut_node, int blocks_removed) {
   Candidate c;
   c.base = base;
   c.base_name = zoo::net_name(base);
@@ -15,22 +17,53 @@ Candidate BlockwiseExplorer::evaluate_cut(zoo::NetId base, int cut_node, int blo
   c.layers_removed = lab_.layers_removed(base, cut_node);
   c.layers_remaining = lab_.layers_remaining(base, cut_node);
   c.latency_ms = lab_.measured_ms(base, cut_node);
-  const AccuracyResult acc = evaluator_.accuracy(base, cut_node);
-  c.accuracy = acc.angular_similarity;
-  c.top1 = acc.top1;
   c.train_hours = lab_.training_hours(base, cut_node);
   return c;
 }
 
+Candidate BlockwiseExplorer::evaluate_cut(zoo::NetId base, int cut_node, int blocks_removed) {
+  Candidate c = lab_stub(base, cut_node, blocks_removed);
+  const AccuracyResult acc = evaluator_.accuracy(base, cut_node);
+  c.accuracy = acc.angular_similarity;
+  c.top1 = acc.top1;
+  return c;
+}
+
+std::vector<Candidate> BlockwiseExplorer::evaluate_cuts(
+    zoo::NetId base, const std::vector<std::pair<int, int>>& cuts) {
+  // Phase 1 (serial): the LatencyLab is not thread-safe (memo maps), but its
+  // analytical measurements are cheap relative to head retraining.
+  std::vector<Candidate> out;
+  out.reserve(cuts.size());
+  for (const auto& [cut_node, blocks_removed] : cuts)
+    out.push_back(lab_stub(base, cut_node, blocks_removed));
+
+  // Phase 2 (parallel): per-cut head retraining dominates and each TRN is
+  // independent. Feature extraction happens once, up front, at the outer
+  // parallelism level; each candidate's head is seeded from its cut key, so
+  // the result set is identical at any thread count.
+  evaluator_.prepare(base);
+  util::parallel_for(
+      0, static_cast<std::int64_t>(out.size()), 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          Candidate& c = out[static_cast<std::size_t>(i)];
+          const AccuracyResult acc = evaluator_.accuracy(base, c.cut_node);
+          c.accuracy = acc.angular_similarity;
+          c.top1 = acc.top1;
+        }
+      });
+  return out;
+}
+
 std::vector<Candidate> BlockwiseExplorer::explore(zoo::NetId base, bool include_full) {
   const std::vector<int>& cuts = lab_.blockwise(base);
-  std::vector<Candidate> out;
-  if (include_full) out.push_back(evaluate_cut(base, lab_.full_cut(base), 0));
+  std::vector<std::pair<int, int>> plan;
+  if (include_full) plan.emplace_back(lab_.full_cut(base), 0);
   const int blocks = static_cast<int>(cuts.size());
   // Removing the last k blocks keeps blocks 0..B-1-k; always keep >= 1.
   for (int k = 1; k <= blocks - 1; ++k)
-    out.push_back(evaluate_cut(base, cuts[static_cast<std::size_t>(blocks - 1 - k)], k));
-  return out;
+    plan.emplace_back(cuts[static_cast<std::size_t>(blocks - 1 - k)], k);
+  return evaluate_cuts(base, plan);
 }
 
 std::vector<Candidate> BlockwiseExplorer::explore_all(bool include_full) {
@@ -45,16 +78,16 @@ std::vector<Candidate> BlockwiseExplorer::explore_all(bool include_full) {
 std::vector<Candidate> BlockwiseExplorer::explore_iterative(zoo::NetId base,
                                                             bool include_full) {
   const std::vector<int>& cuts = lab_.iterative(base);
-  std::vector<Candidate> out;
+  std::vector<std::pair<int, int>> plan;
   const int n = static_cast<int>(cuts.size());
   // cuts.back() is the trunk output; earlier entries remove progressively
   // more layers. Keep at least the first dominator.
   for (int i = n - 1; i >= 1; --i) {
     const bool is_full = i == n - 1;
     if (is_full && !include_full) continue;
-    out.push_back(evaluate_cut(base, cuts[static_cast<std::size_t>(i)], is_full ? 0 : -1));
+    plan.emplace_back(cuts[static_cast<std::size_t>(i)], is_full ? 0 : -1);
   }
-  return out;
+  return evaluate_cuts(base, plan);
 }
 
 double BlockwiseExplorer::total_train_hours(const std::vector<Candidate>& candidates) {

@@ -4,6 +4,7 @@
 // training-server model (the paper's "148 networks, 183 hours").
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.hpp"
@@ -45,7 +46,13 @@ class BlockwiseExplorer {
   static double total_train_hours(const std::vector<Candidate>& candidates);
 
  private:
+  /// Candidate with all LatencyLab-derived fields filled, accuracy pending.
+  Candidate lab_stub(zoo::NetId base, int cut_node, int blocks_removed);
   Candidate evaluate_cut(zoo::NetId base, int cut_node, int blocks_removed);
+  /// Two-phase batch evaluation: serial lab metadata, then the independent
+  /// per-TRN head retrainings fanned out across the thread pool.
+  std::vector<Candidate> evaluate_cuts(zoo::NetId base,
+                                       const std::vector<std::pair<int, int>>& cuts);
 
   LatencyLab& lab_;
   TrnEvaluator& evaluator_;

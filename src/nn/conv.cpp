@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netcut::nn {
 
@@ -65,17 +66,19 @@ Tensor Conv2D::forward(const std::vector<const Tensor*>& in, bool train) {
   const int ow = g.out_w();
   const int k2 = in_c_ * kernel_h_ * kernel_w_;
 
-  std::vector<float> cols(static_cast<std::size_t>(k2) * oh * ow);
-  tensor::im2col(x.data(), g, cols.data());
+  const std::size_t cols_size = static_cast<std::size_t>(k2) * oh * ow;
+  if (cols_scratch_.size() < cols_size) cols_scratch_.resize(cols_size);
+  tensor::im2col(x.data(), g, cols_scratch_.data());
 
   Tensor y(Shape::chw(out_c_, oh, ow));
   // W viewed as [out_c, k2]; cols is [k2, oh*ow].
-  tensor::gemm(weight_.data(), cols.data(), y.data(), out_c_, k2, oh * ow);
+  tensor::gemm(weight_.data(), cols_scratch_.data(), y.data(), out_c_, k2, oh * ow);
   if (has_bias_) {
-    for (int o = 0; o < out_c_; ++o) {
-      float* plane = y.data() + static_cast<std::int64_t>(o) * oh * ow;
-      const float b = bias_[o];
-      for (int i = 0; i < oh * ow; ++i) plane[i] += b;
+    const std::size_t hw = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+    for (std::size_t o = 0; o < static_cast<std::size_t>(out_c_); ++o) {
+      float* plane = y.data() + o * hw;
+      const float b = bias_[static_cast<std::int64_t>(o)];
+      for (std::size_t i = 0; i < hw; ++i) plane[i] += b;
     }
   }
   if (train) cached_input_ = x;
@@ -91,28 +94,32 @@ std::vector<Tensor> Conv2D::backward(const Tensor& grad_out) {
   const int k2 = in_c_ * kernel_h_ * kernel_w_;
   const int hw = oh * ow;
 
-  std::vector<float> cols(static_cast<std::size_t>(k2) * hw);
-  tensor::im2col(x.data(), g, cols.data());
+  const std::size_t cols_size = static_cast<std::size_t>(k2) * hw;
+  if (cols_scratch_.size() < cols_size) cols_scratch_.resize(cols_size);
+  tensor::im2col(x.data(), g, cols_scratch_.data());
 
   // dW[out_c, k2] += dY[out_c, hw] * cols^T[hw, k2]
-  std::vector<float> dw(static_cast<std::size_t>(out_c_) * k2);
-  tensor::gemm_bt(grad_out.data(), cols.data(), dw.data(), out_c_, hw, k2);
-  for (std::int64_t i = 0; i < grad_weight_.numel(); ++i) grad_weight_[i] += dw[i];
+  const std::size_t dw_size = static_cast<std::size_t>(out_c_) * k2;
+  if (dw_scratch_.size() < dw_size) dw_scratch_.resize(dw_size);
+  tensor::gemm_bt(grad_out.data(), cols_scratch_.data(), dw_scratch_.data(), out_c_, hw, k2);
+  for (std::int64_t i = 0; i < grad_weight_.numel(); ++i)
+    grad_weight_[i] += dw_scratch_[static_cast<std::size_t>(i)];
 
   if (has_bias_) {
-    for (int o = 0; o < out_c_; ++o) {
-      const float* plane = grad_out.data() + static_cast<std::int64_t>(o) * hw;
+    const std::size_t shw = static_cast<std::size_t>(hw);
+    for (std::size_t o = 0; o < static_cast<std::size_t>(out_c_); ++o) {
+      const float* plane = grad_out.data() + o * shw;
       float s = 0.0f;
-      for (int i = 0; i < hw; ++i) s += plane[i];
-      grad_bias_[o] += s;
+      for (std::size_t i = 0; i < shw; ++i) s += plane[i];
+      grad_bias_[static_cast<std::int64_t>(o)] += s;
     }
   }
 
   // dcols[k2, hw] = W^T[k2, out_c] * dY[out_c, hw], then col2im.
-  std::vector<float> dcols(static_cast<std::size_t>(k2) * hw);
-  tensor::gemm_at(weight_.data(), grad_out.data(), dcols.data(), k2, out_c_, hw);
+  if (dcols_scratch_.size() < cols_size) dcols_scratch_.resize(cols_size);
+  tensor::gemm_at(weight_.data(), grad_out.data(), dcols_scratch_.data(), k2, out_c_, hw);
   Tensor dx(x.shape());
-  tensor::col2im(dcols.data(), g, dx.data());
+  tensor::col2im(dcols_scratch_.data(), g, dx.data());
 
   std::vector<Tensor> grads_in;
   grads_in.push_back(std::move(dx));
@@ -174,10 +181,15 @@ Tensor DepthwiseConv2D::forward(const std::vector<const Tensor*>& in, bool train
   const int oh = out[1], ow = out[2];
 
   Tensor y(out);
-  for (int c = 0; c < channels_; ++c) {
-    const float* chan = x.data() + static_cast<std::int64_t>(c) * ih * iw;
-    const float* w = weight_.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
-    float* dst = y.data() + static_cast<std::int64_t>(c) * oh * ow;
+  // Channels are independent; partition the channel range. Per-channel
+  // arithmetic order is unchanged, so results are thread-count invariant.
+  const std::int64_t per_chan = 2LL * kernel_ * kernel_ * oh * ow;
+  const std::int64_t grain = per_chan > 0 ? ((1 << 16) + per_chan - 1) / per_chan : 1;
+  util::parallel_for(0, channels_, grain, [&](std::int64_t c0, std::int64_t c1) {
+  for (std::int64_t c = c0; c < c1; ++c) {
+    const float* chan = x.data() + c * ih * iw;
+    const float* w = weight_.data() + c * kernel_ * kernel_;
+    float* dst = y.data() + c * oh * ow;
     const float b = has_bias_ ? bias_[c] : 0.0f;
     for (int yo = 0; yo < oh; ++yo) {
       for (int xo = 0; xo < ow; ++xo) {
@@ -195,6 +207,7 @@ Tensor DepthwiseConv2D::forward(const std::vector<const Tensor*>& in, bool train
       }
     }
   }
+  });
   if (train) cached_input_ = x;
   return y;
 }
@@ -207,12 +220,17 @@ std::vector<Tensor> DepthwiseConv2D::backward(const Tensor& grad_out) {
   const int oh = grad_out.shape()[1], ow = grad_out.shape()[2];
 
   Tensor dx(x.shape());
-  for (int c = 0; c < channels_; ++c) {
-    const float* chan = x.data() + static_cast<std::int64_t>(c) * ih * iw;
-    const float* dy = grad_out.data() + static_cast<std::int64_t>(c) * oh * ow;
-    const float* w = weight_.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
-    float* dw = grad_weight_.data() + static_cast<std::int64_t>(c) * kernel_ * kernel_;
-    float* dxc = dx.data() + static_cast<std::int64_t>(c) * ih * iw;
+  // All writes (dw, dxc, grad_bias_[c]) are channel-local, so the channel
+  // partition is race-free and thread-count invariant.
+  const std::int64_t per_chan = 4LL * kernel_ * kernel_ * oh * ow;
+  const std::int64_t grain = per_chan > 0 ? ((1 << 16) + per_chan - 1) / per_chan : 1;
+  util::parallel_for(0, channels_, grain, [&](std::int64_t c0, std::int64_t c1) {
+  for (std::int64_t c = c0; c < c1; ++c) {
+    const float* chan = x.data() + c * ih * iw;
+    const float* dy = grad_out.data() + c * oh * ow;
+    const float* w = weight_.data() + c * kernel_ * kernel_;
+    float* dw = grad_weight_.data() + c * kernel_ * kernel_;
+    float* dxc = dx.data() + c * ih * iw;
     float db = 0.0f;
     for (int yo = 0; yo < oh; ++yo) {
       for (int xo = 0; xo < ow; ++xo) {
@@ -232,6 +250,7 @@ std::vector<Tensor> DepthwiseConv2D::backward(const Tensor& grad_out) {
     }
     if (has_bias_) grad_bias_[c] += db;
   }
+  });
   std::vector<Tensor> grads_in;
   grads_in.push_back(std::move(dx));
   return grads_in;

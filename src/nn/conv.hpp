@@ -52,6 +52,12 @@ class Conv2D final : public Layer {
 
   // Cached by train-mode forward.
   Tensor cached_input_;
+
+  // Persistent per-layer scratch (im2col columns and backward temporaries),
+  // grown on demand and reused across calls instead of reallocating on every
+  // forward/backward. Layers are not shared across pool workers (the
+  // evaluator clones trunks per worker), so no synchronization is needed.
+  std::vector<float> cols_scratch_, dcols_scratch_, dw_scratch_;
 };
 
 class DepthwiseConv2D final : public Layer {

@@ -3,29 +3,89 @@
 #include <cstring>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace netcut::tensor {
 
 namespace {
 
-// Cache-blocked inner kernel: processes C in row panels, keeping a B panel
-// hot. With -O3 -march=native the j loop vectorizes.
-void gemm_impl(const float* a, const float* b, float* c, int m, int k, int n,
+// Blocking parameters. Rows of C are processed in panels of kRowTile so each
+// streamed B row is reused kRowTile times from registers; K is blocked to
+// keep the active B panel cache-resident. Parallelism splits the *panel*
+// range, so every row takes the same code path (full tile vs remainder tail)
+// at any thread count — a precondition for bit-identical results.
+constexpr int kBlockK = 256;
+constexpr int kRowTile = 4;
+
+// Serial threshold: below this many FLOPs the pool dispatch overhead
+// dominates, so kernels stay on the calling thread.
+constexpr std::int64_t kParallelFlopCutoff = 1 << 16;
+
+/// Processes C rows [i0, i1). i0 is tile-aligned unless the caller is the
+/// serial path covering the whole matrix.
+void gemm_rows(const float* a, const float* b, float* c, int i0, int i1, int k, int n,
                bool accumulate) {
-  constexpr int kBlockK = 256;
-  if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  if (!accumulate)
+    std::memset(c + static_cast<std::int64_t>(i0) * n, 0,
+                sizeof(float) * static_cast<std::size_t>(i1 - i0) * static_cast<std::size_t>(n));
   for (int k0 = 0; k0 < k; k0 += kBlockK) {
     const int k1 = (k0 + kBlockK < k) ? k0 + kBlockK : k;
-    for (int i = 0; i < m; ++i) {
-      float* crow = c + static_cast<std::int64_t>(i) * n;
+    int i = i0;
+    for (; i + kRowTile <= i1; i += kRowTile) {
+      const float* a0 = a + static_cast<std::int64_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      float* c0 = c + static_cast<std::int64_t>(i) * n;
+      float* c1 = c0 + n;
+      float* c2 = c1 + n;
+      float* c3 = c2 + n;
+      for (int kk = k0; kk < k1; ++kk) {
+        const float v0 = a0[kk];
+        const float v1 = a1[kk];
+        const float v2 = a2[kk];
+        const float v3 = a3[kk];
+        const float* brow = b + static_cast<std::int64_t>(kk) * n;
+        for (int j = 0; j < n; ++j) {
+          const float bj = brow[j];
+          c0[j] += v0 * bj;
+          c1[j] += v1 * bj;
+          c2[j] += v2 * bj;
+          c3[j] += v3 * bj;
+        }
+      }
+    }
+    for (; i < i1; ++i) {
       const float* arow = a + static_cast<std::int64_t>(i) * k;
+      float* crow = c + static_cast<std::int64_t>(i) * n;
       for (int kk = k0; kk < k1; ++kk) {
         const float aik = arow[kk];
-        if (aik == 0.0f) continue;
         const float* brow = b + static_cast<std::int64_t>(kk) * n;
         for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
       }
     }
   }
+}
+
+void gemm_impl(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate) {
+  const std::int64_t flops = 2LL * m * k * n;
+  if (flops < kParallelFlopCutoff) {
+    gemm_rows(a, b, c, 0, m, k, n, accumulate);
+    return;
+  }
+  // Partition over row panels so tile/remainder row assignment is identical
+  // at any thread count; grain keeps per-chunk work above the cutoff.
+  const std::int64_t panels = (m + kRowTile - 1) / kRowTile;
+  const std::int64_t panel_flops = 2LL * kRowTile * k * n;
+  const std::int64_t grain =
+      panel_flops > 0 ? (kParallelFlopCutoff + panel_flops - 1) / panel_flops : 1;
+  util::parallel_for(0, panels, grain, [&](std::int64_t p0, std::int64_t p1) {
+    const int i0 = static_cast<int>(p0) * kRowTile;
+    int i1 = static_cast<int>(p1) * kRowTile;
+    if (i1 > m) i1 = m;
+    gemm_rows(a, b, c, i0, i1, k, n, accumulate);
+  });
 }
 
 }  // namespace
@@ -39,26 +99,107 @@ void gemm_accumulate(const float* a, const float* b, float* c, int m, int k, int
 }
 
 void gemm_at(const float* a, const float* b, float* c, int m, int k, int n) {
-  // A stored KxM; transpose into a scratch buffer, then run the fast path.
-  std::vector<float> at(static_cast<std::size_t>(m) * k);
+  // A stored KxM; transpose into a reusable thread-local buffer (this runs
+  // on every Conv2D::backward), then take the fast path.
+  static thread_local std::vector<float> at;
+  const std::size_t need = static_cast<std::size_t>(m) * static_cast<std::size_t>(k);
+  if (at.size() < need) at.resize(need);
   for (int kk = 0; kk < k; ++kk)
     for (int i = 0; i < m; ++i)
       at[static_cast<std::size_t>(i) * k + kk] = a[static_cast<std::size_t>(kk) * m + i];
   gemm_impl(at.data(), b, c, m, k, n, /*accumulate=*/false);
 }
 
-void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n) {
-  // B stored NxK. Dot-product formulation; both operands stream row-major.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::int64_t>(i) * k;
-    float* crow = c + static_cast<std::int64_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::int64_t>(j) * k;
-      float s = 0.0f;
-      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      crow[j] = s;
+namespace {
+
+/// One dot product with eight-lane partial sums so the reduction
+/// vectorizes. The lane pattern is a function of k alone, so every c[i][j]
+/// sees one fixed operation order at any thread count.
+inline float dot8(const float* x, const float* y, int k) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  int kk = 0;
+  for (; kk + 8 <= k; kk += 8)
+    for (int l = 0; l < 8; ++l) lanes[l] += x[kk + l] * y[kk + l];
+  float s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+            ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; kk < k; ++kk) s += x[kk] * y[kk];
+  return s;
+}
+
+/// Four dot products against one shared y, fused into a single k pass so y
+/// is loaded once per step. Each row's lanes see the exact update sequence
+/// of dot8, so results match the remainder path bit-for-bit.
+inline void dot8x4(const float* x0, const float* x1, const float* x2, const float* x3,
+                   const float* y, int k, float* out, int stride) {
+  float l0[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  float l1[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  float l2[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  float l3[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  int kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    for (int l = 0; l < 8; ++l) {
+      const float yv = y[kk + l];
+      l0[l] += x0[kk + l] * yv;
+      l1[l] += x1[kk + l] * yv;
+      l2[l] += x2[kk + l] * yv;
+      l3[l] += x3[kk + l] * yv;
     }
   }
+  float s0 = ((l0[0] + l0[1]) + (l0[2] + l0[3])) + ((l0[4] + l0[5]) + (l0[6] + l0[7]));
+  float s1 = ((l1[0] + l1[1]) + (l1[2] + l1[3])) + ((l1[4] + l1[5]) + (l1[6] + l1[7]));
+  float s2 = ((l2[0] + l2[1]) + (l2[2] + l2[3])) + ((l2[4] + l2[5]) + (l2[6] + l2[7]));
+  float s3 = ((l3[0] + l3[1]) + (l3[2] + l3[3])) + ((l3[4] + l3[5]) + (l3[6] + l3[7]));
+  for (; kk < k; ++kk) {
+    const float yv = y[kk];
+    s0 += x0[kk] * yv;
+    s1 += x1[kk] * yv;
+    s2 += x2[kk] * yv;
+    s3 += x3[kk] * yv;
+  }
+  out[0] = s0;
+  out[stride] = s1;
+  out[2 * stride] = s2;
+  out[3 * stride] = s3;
+}
+
+}  // namespace
+
+void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n) {
+  // B stored NxK. Dot-product formulation; A rows are processed in panels of
+  // kRowTile so each streamed B row serves four dot products. Panels align
+  // to absolute row indices (parallelism splits the panel range), and each
+  // dot product has its own accumulators, so results are thread-count
+  // invariant.
+  auto panels_fn = [&](std::int64_t p0, std::int64_t p1) {
+    const std::int64_t i0 = p0 * kRowTile;
+    const std::int64_t i1 = p1 * kRowTile < m ? p1 * kRowTile : m;
+    std::int64_t i = i0;
+    for (; i + kRowTile <= i1; i += kRowTile) {
+      const float* a0 = a + i * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      float* crow = c + i * n;
+      for (int j = 0; j < n; ++j)
+        dot8x4(a0, a1, a2, a3, b + static_cast<std::int64_t>(j) * k, k, crow + j, n);
+    }
+    for (; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int j = 0; j < n; ++j)
+        crow[j] = dot8(arow, b + static_cast<std::int64_t>(j) * k, k);
+    }
+  };
+  const std::int64_t panels = (m + kRowTile - 1) / kRowTile;
+  const std::int64_t flops = 2LL * m * k * n;
+  if (flops < kParallelFlopCutoff) {
+    panels_fn(0, panels);
+    return;
+  }
+  const std::int64_t panel_flops = 2LL * kRowTile * k * n;
+  const std::int64_t grain =
+      panel_flops > 0 ? (kParallelFlopCutoff + panel_flops - 1) / panel_flops : 1;
+  util::parallel_for(0, panels, grain, panels_fn);
 }
 
 void gemv(const float* a, const float* x, float* y, int m, int n) {

@@ -1,19 +1,28 @@
 #include "tensor/im2col.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace netcut::tensor {
 
-int same_pad(int kernel) { return (kernel - 1) / 2; }
+namespace {
 
-void im2col(const float* img, const ConvGeometry& g, float* cols) {
+// Channels are fully independent in both directions (channel c only touches
+// its own image plane and its own block of `patch` column rows), so both
+// kernels partition the channel range. Per-channel work order is unchanged,
+// keeping results bit-identical at any thread count.
+constexpr std::int64_t kParallelElemCutoff = 1 << 14;
+
+void im2col_channels(const float* img, const ConvGeometry& g, float* cols, std::int64_t c0,
+                     std::int64_t c1) {
   const int oh = g.out_h();
   const int ow = g.out_w();
   const int patch = g.patch();
-  for (int c = 0; c < g.in_c; ++c) {
-    const float* chan = img + static_cast<std::int64_t>(c) * g.in_h * g.in_w;
+  for (std::int64_t c = c0; c < c1; ++c) {
+    const float* chan = img + c * g.in_h * g.in_w;
     for (int p = 0; p < patch; ++p) {
       const int kh = p / g.kernel_w;
       const int kw = p % g.kernel_w;
-      float* row = cols + (static_cast<std::int64_t>(c) * patch + p) * oh * ow;
+      float* row = cols + (c * patch + p) * oh * ow;
       for (int y = 0; y < oh; ++y) {
         const int iy = y * g.stride + kh - g.pad_h;
         if (iy < 0 || iy >= g.in_h) {
@@ -30,16 +39,17 @@ void im2col(const float* img, const ConvGeometry& g, float* cols) {
   }
 }
 
-void col2im(const float* cols, const ConvGeometry& g, float* img) {
+void col2im_channels(const float* cols, const ConvGeometry& g, float* img, std::int64_t c0,
+                     std::int64_t c1) {
   const int oh = g.out_h();
   const int ow = g.out_w();
   const int patch = g.patch();
-  for (int c = 0; c < g.in_c; ++c) {
-    float* chan = img + static_cast<std::int64_t>(c) * g.in_h * g.in_w;
+  for (std::int64_t c = c0; c < c1; ++c) {
+    float* chan = img + c * g.in_h * g.in_w;
     for (int p = 0; p < patch; ++p) {
       const int kh = p / g.kernel_w;
       const int kw = p % g.kernel_w;
-      const float* row = cols + (static_cast<std::int64_t>(c) * patch + p) * oh * ow;
+      const float* row = cols + (c * patch + p) * oh * ow;
       for (int y = 0; y < oh; ++y) {
         const int iy = y * g.stride + kh - g.pad_h;
         if (iy < 0 || iy >= g.in_h) continue;
@@ -51,6 +61,39 @@ void col2im(const float* cols, const ConvGeometry& g, float* img) {
       }
     }
   }
+}
+
+std::int64_t channel_grain(const ConvGeometry& g) {
+  const std::int64_t per_channel =
+      static_cast<std::int64_t>(g.patch()) * g.out_h() * g.out_w();
+  if (per_channel <= 0) return 1;
+  return (kParallelElemCutoff + per_channel - 1) / per_channel;
+}
+
+}  // namespace
+
+int same_pad(int kernel) { return (kernel - 1) / 2; }
+
+void im2col(const float* img, const ConvGeometry& g, float* cols) {
+  const std::int64_t work = static_cast<std::int64_t>(g.in_c) * g.patch() * g.out_h() * g.out_w();
+  if (work < kParallelElemCutoff) {
+    im2col_channels(img, g, cols, 0, g.in_c);
+    return;
+  }
+  util::parallel_for(0, g.in_c, channel_grain(g), [&](std::int64_t c0, std::int64_t c1) {
+    im2col_channels(img, g, cols, c0, c1);
+  });
+}
+
+void col2im(const float* cols, const ConvGeometry& g, float* img) {
+  const std::int64_t work = static_cast<std::int64_t>(g.in_c) * g.patch() * g.out_h() * g.out_w();
+  if (work < kParallelElemCutoff) {
+    col2im_channels(cols, g, img, 0, g.in_c);
+    return;
+  }
+  util::parallel_for(0, g.in_c, channel_grain(g), [&](std::int64_t c0, std::int64_t c1) {
+    col2im_channels(cols, g, img, c0, c1);
+  });
 }
 
 }  // namespace netcut::tensor

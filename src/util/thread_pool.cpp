@@ -1,0 +1,156 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace netcut::util {
+
+namespace {
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+int default_thread_count() {
+  if (const char* env = std::getenv("NETCUT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads) { start(threads < 1 ? 0 : threads - 1); }
+
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::start(int workers) {
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w + 1); });
+}
+
+void ThreadPool::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  shutdown_ = false;
+  // Reset the job generation: workers of the next pool start with seen == 0
+  // and must not mistake the previous generation's (dangling) job for new.
+  epoch_ = 0;
+  job_ = Job{};
+}
+
+void ThreadPool::resize(int threads) {
+  stop();
+  start(threads < 1 ? 0 : threads - 1);
+}
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
+
+void ThreadPool::run_chunks(const Job& job, int participant_index) {
+  for (std::int64_t c = participant_index; c < job.chunks; c += job.participants) {
+    const std::int64_t b = job.begin + c * job.grain;
+    std::int64_t e = b + job.grain;
+    if (e > job.end) e = job.end;
+    try {
+      (*job.fn)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int participant_index) {
+  tl_in_worker = true;
+  std::uint64_t seen = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    run_chunks(job, participant_index);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --active_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t range = end - begin;
+  const std::int64_t chunks = (range + grain - 1) / grain;
+  const int participants = num_threads();
+
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunks = chunks;
+
+  if (participants == 1 || chunks == 1 || tl_in_worker) {
+    // Serial path: same chunk boundaries, one participant, errors surface
+    // directly. Keeps nested calls from deadlocking on the shared pool.
+    job.participants = 1;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t b = begin + c * grain;
+      fn(b, b + grain > end ? end : b + grain);
+    }
+    return;
+  }
+
+  job.participants = participants;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = job;
+    first_error_ = nullptr;
+    active_ = participants - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  // The caller participates as index 0. Mark it in-worker for the duration
+  // so re-entrant parallel_for calls from its own chunks run serially inline
+  // instead of clobbering the in-flight job.
+  tl_in_worker = true;
+  run_chunks(job, /*participant_index=*/0);
+  tl_in_worker = false;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [&] { return active_ == 0; });
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+int num_threads() { return ThreadPool::instance().num_threads(); }
+
+void set_num_threads(int threads) { ThreadPool::instance().resize(threads); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace netcut::util

@@ -1,0 +1,99 @@
+// Fixed-size worker pool with a deterministic parallel_for primitive.
+//
+// Determinism contract: parallel_for splits [begin, end) into chunks of
+// `grain` whose boundaries depend only on (begin, end, grain) — never on the
+// thread count — and assigns chunk c to participant (c % threads) statically.
+// A body that writes disjoint output per index (every use in this repo)
+// therefore produces bit-identical results at any NETCUT_THREADS setting,
+// including 1.
+//
+// Nested-parallelism rule: outer-level parallelism wins. A parallel_for
+// issued from inside a pool worker runs serially inline on that worker, so
+// kernels parallelize when called from the top level and degrade gracefully
+// when an orchestration layer (evaluator/explorer) already owns the pool.
+//
+// Sizing: std::thread::hardware_concurrency() by default, overridable with
+// the NETCUT_THREADS environment variable (read once at first use) and at
+// runtime with set_num_threads(). set_num_threads() is a setup-time API; it
+// must not race with in-flight parallel_for calls.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netcut::util {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool used by all kernels. Lazily constructed.
+  static ThreadPool& instance();
+
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participants (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Stop all workers and restart with `threads` participants (min 1).
+  void resize(int threads);
+
+  /// Run fn(chunk_begin, chunk_end) over [begin, end) in chunks of `grain`
+  /// (clamped to >= 1). Blocks until every chunk finished. The first
+  /// exception thrown by any chunk is rethrown on the calling thread after
+  /// all chunks complete. Chunk boundaries are thread-count independent.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// True while the calling thread is executing inside a parallel_for
+  /// region — on a pool worker, or on the calling thread while it runs its
+  /// own chunks. Nested parallel_for calls in this state run serially.
+  static bool in_worker();
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t begin = 0, end = 0, grain = 1;
+    std::int64_t chunks = 0;
+    int participants = 1;
+  };
+
+  void worker_loop(int participant_index);
+  void run_chunks(const Job& job, int participant_index);
+  void start(int workers);
+  void stop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  bool shutdown_ = false;
+  Job job_;
+  std::exception_ptr first_error_;
+};
+
+/// Thread count the pool would pick with no explicit override: the
+/// NETCUT_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (min 1).
+int default_thread_count();
+
+/// Participants in the global pool.
+int num_threads();
+
+/// Resize the global pool (setup-time API; not safe during parallel_for).
+void set_num_threads(int threads);
+
+/// parallel_for on the global pool. Runs serially inline when the pool has
+/// one participant, when there is a single chunk, or when called from a
+/// pool worker (nested-parallelism rule).
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace netcut::util
