@@ -189,8 +189,10 @@ int run_json_sweep(const std::string& path) {
   // Transposed variants at the shapes Conv2D::backward exercises. Operand
   // layouts differ from plain gemm ([k x m] A, [n x k] B) but the random
   // fill only cares about element count, so the timing is representative.
-  gemm_like("gemm_at", 256, 256, 256, tensor::gemm_at);
-  gemm_like("gemm_bt", 256, 256, 256, tensor::gemm_bt);
+  for (const int s : {64, 128, 256, 512}) {
+    gemm_like("gemm_at", s, s, s, tensor::gemm_at);
+    gemm_like("gemm_bt", s, s, s, tensor::gemm_bt);
+  }
 
   for (const int c : {16, 64}) {
     nn::Conv2D conv(c, c, 3, 1);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus sanitizer spot-checks, as one command:
+#
+#   ./scripts/check.sh            # or: cmake --build build --target check
+#
+# 1. configure + build the default tree (build/)
+# 2. run the full ctest suite
+# 3. build the thread-pool and memory-planner tests under AddressSanitizer
+#    (build-asan/) and run them — the two subsystems that juggle raw
+#    lifetimes (pool workers, arena-backed tensor views).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> [1/3] configure + build (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "==> [2/3] ctest (full tier-1 suite)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==> [3/3] ASan: thread pool + memory planner"
+cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$(nproc)" --target test_util_threadpool test_nn_memplan
+ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan' \
+  --output-on-failure -j "$(nproc)"
+
+echo "==> check passed"

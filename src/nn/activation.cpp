@@ -12,16 +12,22 @@ Shape ReLU::output_shape(const std::vector<Shape>& in) const {
 
 Tensor ReLU::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "ReLU");
+  Tensor y(in[0]->shape());
+  forward_into(in, y, train, nullptr);
+  return y;
+}
+
+void ReLU::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                        float* /*scratch*/) {
+  require_arity(in, 1, "ReLU");
   const Tensor& x = *in[0];
-  Tensor y(x.shape());
   const float hi = clip6_ ? 6.0f : 0.0f;
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     float v = x[i] > 0.0f ? x[i] : 0.0f;
     if (clip6_ && v > hi) v = hi;
-    y[i] = v;
+    out[i] = v;
   }
   if (train) cached_input_ = x;
-  return y;
 }
 
 std::vector<Tensor> ReLU::backward(const Tensor& grad_out) {

@@ -15,6 +15,8 @@ class ReLU final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 

@@ -35,11 +35,22 @@ Shape Add::output_shape(const std::vector<Shape>& in) const {
   return in[0];
 }
 
-Tensor Add::forward(const std::vector<const Tensor*>& in, bool /*train*/) {
+Tensor Add::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, arity_, "Add");
-  Tensor y = *in[0];
-  for (int i = 1; i < arity_; ++i) y += *in[static_cast<std::size_t>(i)];
+  Tensor y(in[0]->shape());
+  forward_into(in, y, train, nullptr);
   return y;
+}
+
+void Add::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool /*train*/,
+                       float* /*scratch*/) {
+  require_arity(in, arity_, "Add");
+  out.copy_from(*in[0]);
+  for (int i = 1; i < arity_; ++i) {
+    const float* src = in[static_cast<std::size_t>(i)]->data();
+    float* dst = out.data();
+    for (std::int64_t j = 0; j < out.numel(); ++j) dst[j] += src[j];
+  }
 }
 
 std::vector<Tensor> Add::backward(const Tensor& grad_out) {
@@ -78,7 +89,14 @@ Tensor Concat::forward(const std::vector<const Tensor*>& in, bool train) {
   shapes.reserve(in.size());
   for (const Tensor* t : in) shapes.push_back(t->shape());
   Tensor y(output_shape(shapes));
-  float* dst = y.data();
+  forward_into(in, y, train, nullptr);
+  return y;
+}
+
+void Concat::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                          float* /*scratch*/) {
+  require_arity(in, arity_, "Concat");
+  float* dst = out.data();
   for (const Tensor* t : in) {
     std::memcpy(dst, t->data(), sizeof(float) * static_cast<std::size_t>(t->numel()));
     dst += t->numel();
@@ -89,7 +107,6 @@ Tensor Concat::forward(const std::vector<const Tensor*>& in, bool train) {
     cached_h_ = in[0]->shape()[1];
     cached_w_ = in[0]->shape()[2];
   }
-  return y;
 }
 
 std::vector<Tensor> Concat::backward(const Tensor& grad_out) {
@@ -123,6 +140,14 @@ Tensor Flatten::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "Flatten");
   if (train) cached_in_shape_ = in[0]->shape();
   return in[0]->reshaped(Shape::vec(static_cast<int>(in[0]->numel())));
+}
+
+void Flatten::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                           float* /*scratch*/) {
+  require_arity(in, 1, "Flatten");
+  if (train) cached_in_shape_ = in[0]->shape();
+  std::memcpy(out.data(), in[0]->data(),
+              sizeof(float) * static_cast<std::size_t>(in[0]->numel()));
 }
 
 std::vector<Tensor> Flatten::backward(const Tensor& grad_out) {

@@ -35,6 +35,8 @@ class Add final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 
@@ -53,6 +55,8 @@ class Concat final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 
@@ -70,6 +74,8 @@ class Flatten final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 

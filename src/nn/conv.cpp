@@ -60,29 +60,46 @@ Shape Conv2D::output_shape(const std::vector<Shape>& in) const {
 
 Tensor Conv2D::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "Conv2D");
+  const ConvGeometry g = geometry(in[0]->shape());
+  Tensor y(Shape::chw(out_c_, g.out_h(), g.out_w()));
+  forward_into(in, y, train, nullptr);
+  return y;
+}
+
+void Conv2D::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                          float* scratch) {
+  require_arity(in, 1, "Conv2D");
   const Tensor& x = *in[0];
   const ConvGeometry g = geometry(x.shape());
   const int oh = g.out_h();
   const int ow = g.out_w();
   const int k2 = in_c_ * kernel_h_ * kernel_w_;
 
-  const std::size_t cols_size = static_cast<std::size_t>(k2) * oh * ow;
-  if (cols_scratch_.size() < cols_size) cols_scratch_.resize(cols_size);
-  tensor::im2col(x.data(), g, cols_scratch_.data());
+  float* cols = scratch;
+  if (cols == nullptr) {
+    const std::size_t cols_size = static_cast<std::size_t>(k2) * oh * ow;
+    if (cols_scratch_.size() < cols_size) cols_scratch_.resize(cols_size);
+    cols = cols_scratch_.data();
+  }
+  tensor::im2col(x.data(), g, cols);
 
-  Tensor y(Shape::chw(out_c_, oh, ow));
   // W viewed as [out_c, k2]; cols is [k2, oh*ow].
-  tensor::gemm(weight_.data(), cols_scratch_.data(), y.data(), out_c_, k2, oh * ow);
+  tensor::gemm(weight_.data(), cols, out.data(), out_c_, k2, oh * ow);
   if (has_bias_) {
     const std::size_t hw = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
     for (std::size_t o = 0; o < static_cast<std::size_t>(out_c_); ++o) {
-      float* plane = y.data() + o * hw;
+      float* plane = out.data() + o * hw;
       const float b = bias_[static_cast<std::int64_t>(o)];
       for (std::size_t i = 0; i < hw; ++i) plane[i] += b;
     }
   }
   if (train) cached_input_ = x;
-  return y;
+}
+
+std::size_t Conv2D::forward_scratch_floats(const std::vector<Shape>& in) const {
+  const ConvGeometry g = geometry(in[0]);
+  return static_cast<std::size_t>(in_c_ * kernel_h_ * kernel_w_) *
+         static_cast<std::size_t>(g.out_h()) * static_cast<std::size_t>(g.out_w());
 }
 
 std::vector<Tensor> Conv2D::backward(const Tensor& grad_out) {
@@ -175,12 +192,18 @@ Shape DepthwiseConv2D::output_shape(const std::vector<Shape>& in) const {
 
 Tensor DepthwiseConv2D::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "DepthwiseConv2D");
-  const Tensor& x = *in[0];
-  const Shape out = output_shape({x.shape()});
-  const int ih = x.shape()[1], iw = x.shape()[2];
-  const int oh = out[1], ow = out[2];
+  Tensor y(output_shape({in[0]->shape()}));
+  forward_into(in, y, train, nullptr);
+  return y;
+}
 
-  Tensor y(out);
+void DepthwiseConv2D::forward_into(const std::vector<const Tensor*>& in, Tensor& out,
+                                   bool train, float* /*scratch*/) {
+  require_arity(in, 1, "DepthwiseConv2D");
+  const Tensor& x = *in[0];
+  const int ih = x.shape()[1], iw = x.shape()[2];
+  const int oh = out.shape()[1], ow = out.shape()[2];
+
   // Channels are independent; partition the channel range. Per-channel
   // arithmetic order is unchanged, so results are thread-count invariant.
   const std::int64_t per_chan = 2LL * kernel_ * kernel_ * oh * ow;
@@ -189,7 +212,7 @@ Tensor DepthwiseConv2D::forward(const std::vector<const Tensor*>& in, bool train
   for (std::int64_t c = c0; c < c1; ++c) {
     const float* chan = x.data() + c * ih * iw;
     const float* w = weight_.data() + c * kernel_ * kernel_;
-    float* dst = y.data() + c * oh * ow;
+    float* dst = out.data() + c * oh * ow;
     const float b = has_bias_ ? bias_[c] : 0.0f;
     for (int yo = 0; yo < oh; ++yo) {
       for (int xo = 0; xo < ow; ++xo) {
@@ -209,7 +232,6 @@ Tensor DepthwiseConv2D::forward(const std::vector<const Tensor*>& in, bool train
   }
   });
   if (train) cached_input_ = x;
-  return y;
 }
 
 std::vector<Tensor> DepthwiseConv2D::backward(const Tensor& grad_out) {

@@ -22,6 +22,9 @@ class Conv2D final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
+  std::size_t forward_scratch_floats(const std::vector<Shape>& in) const override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
 
   std::vector<Tensor*> params() override;
@@ -71,6 +74,8 @@ class DepthwiseConv2D final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
 
   std::vector<Tensor*> params() override;

@@ -28,13 +28,19 @@ Shape Dense::output_shape(const std::vector<Shape>& in) const {
 
 Tensor Dense::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "Dense");
-  const Tensor& x = *in[0];
   Tensor y(Shape::vec(out_f_));
-  tensor::gemv(weight_.data(), x.data(), y.data(), out_f_, in_f_);
-  if (has_bias_)
-    for (int o = 0; o < out_f_; ++o) y[o] += bias_[o];
-  if (train) cached_input_ = x;
+  forward_into(in, y, train, nullptr);
   return y;
+}
+
+void Dense::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                         float* /*scratch*/) {
+  require_arity(in, 1, "Dense");
+  const Tensor& x = *in[0];
+  tensor::gemv(weight_.data(), x.data(), out.data(), out_f_, in_f_);
+  if (has_bias_)
+    for (int o = 0; o < out_f_; ++o) out[o] += bias_[o];
+  if (train) cached_input_ = x;
 }
 
 std::vector<Tensor> Dense::backward(const Tensor& grad_out) {

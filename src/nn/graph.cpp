@@ -1,6 +1,8 @@
 #include "nn/graph.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/combine.hpp"
@@ -116,26 +118,29 @@ std::vector<BlockInfo> Graph::blocks() const {
 }
 
 std::vector<int> Graph::output_dominators() const {
-  // dom(v) as bitsets over node ids; nodes are in topological order already.
+  // dom(v) as bitsets over node ids, packed 64 per word in one flat
+  // n x words array (topological order makes a single pass sufficient).
+  // The AND-reduce over a node's inputs runs word-at-a-time instead of
+  // bit-at-a-time through std::vector<bool>'s proxy references.
   const int n = node_count();
-  std::vector<std::vector<bool>> dom(static_cast<std::size_t>(n));
-  dom[0] = std::vector<bool>(static_cast<std::size_t>(n), false);
-  dom[0][0] = true;
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  std::vector<std::uint64_t> dom(static_cast<std::size_t>(n) * words, 0);
+  auto row = [&](int id) { return dom.data() + static_cast<std::size_t>(id) * words; };
+  row(0)[0] = 1u;  // dom(input) = {input}
   for (int id = 1; id < n; ++id) {
     const Node& nd = nodes_[static_cast<std::size_t>(id)];
-    std::vector<bool> d = dom[static_cast<std::size_t>(nd.inputs[0])];
+    std::uint64_t* d = row(id);
+    std::memcpy(d, row(nd.inputs[0]), words * sizeof(std::uint64_t));
     for (std::size_t i = 1; i < nd.inputs.size(); ++i) {
-      const auto& other = dom[static_cast<std::size_t>(nd.inputs[i])];
-      for (int j = 0; j < n; ++j) d[static_cast<std::size_t>(j)] =
-          d[static_cast<std::size_t>(j)] && other[static_cast<std::size_t>(j)];
+      const std::uint64_t* other = row(nd.inputs[i]);
+      for (std::size_t w = 0; w < words; ++w) d[w] &= other[w];
     }
-    d[static_cast<std::size_t>(id)] = true;
-    dom[static_cast<std::size_t>(id)] = std::move(d);
+    d[static_cast<std::size_t>(id) / 64] |= std::uint64_t{1} << (id % 64);
   }
   std::vector<int> result;
-  const auto& out_dom = dom[static_cast<std::size_t>(n - 1)];
+  const std::uint64_t* out_dom = row(n - 1);
   for (int id = 1; id < n; ++id)
-    if (out_dom[static_cast<std::size_t>(id)]) result.push_back(id);
+    if (out_dom[static_cast<std::size_t>(id) / 64] >> (id % 64) & 1u) result.push_back(id);
   return result;
 }
 

@@ -24,6 +24,13 @@ const char* to_string(LayerKind kind) {
   return "Unknown";
 }
 
+void Layer::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                         float* /*scratch*/) {
+  out.copy_from(forward(in, train));
+}
+
+std::size_t Layer::forward_scratch_floats(const std::vector<Shape>& /*in*/) const { return 0; }
+
 void Layer::zero_grads() {
   for (Tensor* g : grads()) g->fill(0.0f);
 }

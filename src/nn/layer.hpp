@@ -8,6 +8,7 @@
 // fine-tuning example.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -61,6 +62,21 @@ class Layer {
 
   /// Run the layer. With train=true, caches whatever backward() needs.
   virtual Tensor forward(const std::vector<const Tensor*>& in, bool train) = 0;
+
+  /// Run the layer, writing the output into `out` — storage of the exact
+  /// output shape, typically an arena view bound by the memory planner.
+  /// `scratch` points to forward_scratch_floats(...) floats of per-call
+  /// workspace when the caller planned one, nullptr otherwise. `out` must
+  /// not alias any input (the planner guarantees this). The base
+  /// implementation falls back to forward() plus a copy; the hot layers
+  /// override it to write in place, and implement forward() on top of it so
+  /// planned and unplanned passes run the same arithmetic bit-for-bit.
+  virtual void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                            float* scratch);
+
+  /// Per-call forward workspace (in floats) the layer wants planned into
+  /// the arena (e.g. Conv2D's im2col column buffer). Zero by default.
+  virtual std::size_t forward_scratch_floats(const std::vector<Shape>& in) const;
 
   /// Gradient of the loss w.r.t. each input, given the gradient w.r.t. the
   /// output of the most recent train-mode forward. Accumulates parameter

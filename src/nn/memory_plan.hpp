@@ -1,0 +1,75 @@
+// Static activation-memory planning for graph execution.
+//
+// Given a Graph, its inferred shapes, the set of node ids whose activations
+// a pass must hand back (`collect`), and the train/inference flag, the plan
+// computes every activation's live interval — definition node to last
+// consumer, with collected / train-retained activations pinned to the end
+// of the pass — and assigns each activation (and each layer's per-call
+// forward scratch) an offset into one shared arena via greedy best-fit, so
+// buffers whose lifetimes do not overlap share the same bytes. Execution
+// then binds Tensor views at those offsets instead of heap-allocating a
+// fresh tensor per node per pass.
+//
+// The plan is a pure function of (graph structure, shapes, collect, train):
+// it is computed once per Network and reused across every forward of the
+// same configuration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace netcut::nn {
+
+/// One arena slot: `floats` payload elements starting at `offset`.
+struct PlanSlot {
+  std::size_t offset = 0;
+  std::size_t floats = 0;
+};
+
+class MemoryPlan {
+ public:
+  MemoryPlan() = default;
+  MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
+             const std::vector<int>& collect, bool train);
+
+  /// True if this plan fits a pass over the same graph with the same
+  /// collect set and train flag.
+  bool matches(int node_count, const std::vector<int>& collect, bool train) const;
+
+  /// Arena capacity the plan needs (activations + scratch), in floats.
+  std::size_t arena_floats() const { return arena_floats_; }
+  /// Per-pass allocation footprint of the unplanned path: the sum of every
+  /// activation's size (each naive forward heap-allocates all of them).
+  std::size_t naive_activation_floats() const { return naive_activation_floats_; }
+  /// High-water mark of the activation slots alone (scratch excluded) —
+  /// the planned peak activation memory reported by benchmarks.
+  std::size_t planned_activation_floats() const { return planned_activation_floats_; }
+
+  /// Activation slot of node `id` (1 <= id < node_count; node 0 views the
+  /// caller's input tensor and owns no slot).
+  const PlanSlot& activation(int id) const { return activations_[static_cast<std::size_t>(id)]; }
+  /// Forward-scratch slot of node `id`; floats == 0 when the layer asked
+  /// for no workspace.
+  const PlanSlot& scratch(int id) const { return scratch_[static_cast<std::size_t>(id)]; }
+  /// Output shape of node `id` (the shape its view is bound with).
+  const Shape& shape(int id) const { return shapes_[static_cast<std::size_t>(id)]; }
+  /// Last node (inclusive) that reads node `id`'s activation.
+  int last_use(int id) const { return last_use_[static_cast<std::size_t>(id)]; }
+
+  int node_count() const { return static_cast<int>(activations_.size()); }
+
+ private:
+  std::vector<PlanSlot> activations_;  // indexed by node id; [0] unused
+  std::vector<PlanSlot> scratch_;
+  std::vector<Shape> shapes_;
+  std::vector<int> last_use_;
+  std::vector<int> collect_;
+  bool train_ = false;
+  std::size_t arena_floats_ = 0;
+  std::size_t naive_activation_floats_ = 0;
+  std::size_t planned_activation_floats_ = 0;
+};
+
+}  // namespace netcut::nn

@@ -1,19 +1,121 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 namespace netcut::nn {
 
+namespace {
+bool planning_env_default() {
+  const char* e = std::getenv("NETCUT_MEMPLAN");
+  return e == nullptr || !(e[0] == '0' && e[1] == '\0');
+}
+bool g_default_planning = planning_env_default();
+}  // namespace
+
+bool default_memory_planning() { return g_default_planning; }
+void set_default_memory_planning(bool on) { g_default_planning = on; }
+
 Network::Network(Graph graph) : graph_(std::move(graph)) {
   graph_.infer_shapes();  // validate eagerly
+}
+
+Network::Network(const Network& other)
+    : graph_(other.graph_),
+      activations_(other.activations_),
+      have_activations_(other.have_activations_),
+      planning_(other.planning_),
+      plans_(other.plans_) {}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  graph_ = other.graph_;
+  activations_ = other.activations_;
+  have_activations_ = other.have_activations_;
+  planning_ = other.planning_;
+  plans_ = other.plans_;
+  arena_ = tensor::Arena();
+  return *this;
 }
 
 Tensor Network::forward(const Tensor& input, bool train) {
   return forward_collect(input, {}, train)[0];
 }
 
+const MemoryPlan& Network::plan_for(const std::vector<int>& collect, bool train) {
+  const int n = graph_.node_count();
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (plans_[i].matches(n, collect, train)) {
+      if (i != 0) std::rotate(plans_.begin(), plans_.begin() + static_cast<std::ptrdiff_t>(i),
+                              plans_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      return plans_.front();
+    }
+  }
+  plans_.insert(plans_.begin(), MemoryPlan(graph_, graph_.infer_shapes(), collect, train));
+  constexpr std::size_t kMaxCachedPlans = 4;  // {collect?} x {train?} in practice
+  if (plans_.size() > kMaxCachedPlans) plans_.pop_back();
+  return plans_.front();
+}
+
+std::vector<Tensor> Network::forward_collect_planned(const Tensor& input,
+                                                     const std::vector<int>& collect,
+                                                     bool train) {
+  const int n = graph_.node_count();
+  const MemoryPlan& plan = plan_for(collect, train);
+  arena_.reserve(plan.arena_floats());
+
+  activations_.assign(static_cast<std::size_t>(n), Tensor());
+  // Node 0 is the Input placeholder: read-only, so it views the caller's
+  // buffer directly instead of copying it into the arena.
+  activations_[0] = Tensor::view(input.shape(), const_cast<float*>(input.data()));
+  for (int id = 1; id < n; ++id) {
+    Node& nd = graph_.node(id);
+    std::vector<const Tensor*> in;
+    in.reserve(nd.inputs.size());
+    for (int src : nd.inputs) {
+      const Tensor& t = activations_[static_cast<std::size_t>(src)];
+      if (t.empty()) throw std::logic_error("Network::forward: missing activation");
+      in.push_back(&t);
+    }
+    Tensor out = Tensor::view(plan.shape(id), arena_.slot(plan.activation(id).offset));
+    float* scratch =
+        plan.scratch(id).floats != 0 ? arena_.slot(plan.scratch(id).offset) : nullptr;
+    nd.layer->forward_into(in, out, train, scratch);
+    activations_[static_cast<std::size_t>(id)] = std::move(out);
+    if (!train && id != n - 1) {
+      // Inference: a source whose last consumer just ran is dead — its arena
+      // bytes may be reused by a later node, so drop the view now. Pinned
+      // nodes (collected / output) have last_use == n-1 and are never
+      // dropped; nothing runs after the final node, so skipping the sweep
+      // there keeps naturally-late activations distinguishable from them.
+      for (int src : nd.inputs)
+        if (src != 0 && plan.last_use(src) == id)
+          activations_[static_cast<std::size_t>(src)] = Tensor();
+    }
+  }
+  have_activations_ = true;
+
+  // push_back copies the views, which materializes owning tensors — the
+  // returned activations are independent of the arena.
+  std::vector<Tensor> out;
+  out.reserve(collect.size() + 1);
+  if (collect.empty()) {
+    out.push_back(activations_[static_cast<std::size_t>(graph_.output_node())]);
+  } else {
+    for (int id : collect) {
+      if (id < 0 || id >= n) throw std::out_of_range("Network::forward_collect: bad node id");
+      out.push_back(activations_[static_cast<std::size_t>(id)]);
+    }
+  }
+  return out;
+}
+
 std::vector<Tensor> Network::forward_collect(const Tensor& input,
                                              const std::vector<int>& collect, bool train) {
+  if (planning_) return forward_collect_planned(input, collect, train);
+
   const int n = graph_.node_count();
   activations_.assign(static_cast<std::size_t>(n), Tensor());
   activations_[0] = input;

@@ -1,17 +1,42 @@
 // Network: an executable wrapper around a Graph. Owns per-node activation
 // storage for forward passes and gradient accumulators for backward passes.
+//
+// Forward passes run in one of two modes:
+//  - planned (default): a MemoryPlan assigns every activation and per-layer
+//    scratch buffer an offset into one arena; layers write through
+//    forward_into into views bound at those offsets, so a steady-state pass
+//    performs no per-node heap allocation. Tensors handed back to the caller
+//    (the output, collected activations) are deep-copied out of the arena by
+//    Tensor's materializing copy semantics.
+//  - naive: every node heap-allocates its output via Layer::forward. Kept as
+//    the reference path; the planned path is bit-identical to it.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "nn/graph.hpp"
+#include "nn/memory_plan.hpp"
+#include "tensor/arena.hpp"
 
 namespace netcut::nn {
+
+/// Process-wide default for new Network instances. Initialized from the
+/// NETCUT_MEMPLAN environment variable ("0" disables planning; anything
+/// else, or unset, enables it).
+bool default_memory_planning();
+void set_default_memory_planning(bool on);
 
 class Network {
  public:
   explicit Network(Graph graph);
+
+  // The activation arena is move-only; copies start with a fresh (empty)
+  // arena and re-reserve lazily on their first planned forward.
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
 
   const Graph& graph() const { return graph_; }
   Graph& graph() { return graph_; }
@@ -45,10 +70,25 @@ class Network {
   /// Output shape at the declared input resolution.
   Shape output_shape() const;
 
+  /// Per-instance override of the process-wide planning default.
+  void set_memory_planning(bool on) { planning_ = on; }
+  bool memory_planning() const { return planning_; }
+
+  /// The (cached) memory plan for a pass with this collect set / train flag.
+  /// Exposed so tests and benchmarks can inspect planned vs naive footprint.
+  const MemoryPlan& plan_for(const std::vector<int>& collect, bool train);
+
  private:
+  std::vector<Tensor> forward_collect_planned(const Tensor& input,
+                                              const std::vector<int>& collect, bool train);
+
   Graph graph_;
   std::vector<Tensor> activations_;  // valid after a train-mode forward
   bool have_activations_ = false;
+
+  bool planning_ = default_memory_planning();
+  std::vector<MemoryPlan> plans_;  // MRU cache, front = most recent
+  tensor::Arena arena_;
 };
 
 }  // namespace netcut::nn

@@ -27,9 +27,17 @@ Shape BatchNorm::output_shape(const std::vector<Shape>& in) const {
 
 Tensor BatchNorm::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "BatchNorm");
+  Tensor y(in[0]->shape());
+  forward_into(in, y, train, nullptr);
+  return y;
+}
+
+void BatchNorm::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                             float* /*scratch*/) {
+  require_arity(in, 1, "BatchNorm");
   const Tensor& x = *in[0];
   const int hw = x.shape()[1] * x.shape()[2];
-  Tensor y(x.shape());
+  Tensor& y = out;
 
   if (collecting_) {
     // Accumulate running statistics AND normalize with the aggregate stats
@@ -55,7 +63,7 @@ Tensor BatchNorm::forward(const std::vector<const Tensor*>& in, bool train) {
       float* dst = y.data() + static_cast<std::int64_t>(c) * hw;
       for (int i = 0; i < hw; ++i) dst[i] = gamma_[c] * (src[i] - m) * inv_std + beta_[c];
     }
-    return y;
+    return;
   }
 
   if (!train) {
@@ -67,7 +75,7 @@ Tensor BatchNorm::forward(const std::vector<const Tensor*>& in, bool train) {
       float* dst = y.data() + static_cast<std::int64_t>(c) * hw;
       for (int i = 0; i < hw; ++i) dst[i] = src[i] * scale + shift;
     }
-    return y;
+    return;
   }
 
   if (freeze_stats_) {
@@ -87,7 +95,7 @@ Tensor BatchNorm::forward(const std::vector<const Tensor*>& in, bool train) {
         dst[i] = gamma_[c] * xh[i] + beta_[c];
       }
     }
-    return y;
+    return;
   }
 
   // Train mode: single-image spatial statistics.
@@ -111,7 +119,6 @@ Tensor BatchNorm::forward(const std::vector<const Tensor*>& in, bool train) {
       dst[i] = gamma_[c] * xh[i] + beta_[c];
     }
   }
-  return y;
 }
 
 std::vector<Tensor> BatchNorm::backward(const Tensor& grad_out) {

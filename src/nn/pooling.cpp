@@ -26,12 +26,19 @@ Shape Pool2D::output_shape(const std::vector<Shape>& in) const {
 
 Tensor Pool2D::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "Pool2D");
-  const Tensor& x = *in[0];
-  const Shape out = output_shape({x.shape()});
-  const int C = x.shape()[0], ih = x.shape()[1], iw = x.shape()[2];
-  const int oh = out[1], ow = out[2];
+  Tensor y(output_shape({in[0]->shape()}));
+  forward_into(in, y, train, nullptr);
+  return y;
+}
 
-  Tensor y(out);
+void Pool2D::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                          float* /*scratch*/) {
+  require_arity(in, 1, "Pool2D");
+  const Tensor& x = *in[0];
+  const int C = x.shape()[0], ih = x.shape()[1], iw = x.shape()[2];
+  const int oh = out.shape()[1], ow = out.shape()[2];
+
+  Tensor& y = out;
   if (train && mode_ == Mode::kMax)
     cached_argmax_.assign(static_cast<std::size_t>(out.numel()), -1);
 
@@ -73,7 +80,6 @@ Tensor Pool2D::forward(const std::vector<const Tensor*>& in, bool train) {
     }
   }
   if (train) cached_in_shape_ = x.shape();
-  return y;
 }
 
 std::vector<Tensor> Pool2D::backward(const Tensor& grad_out) {
@@ -130,18 +136,24 @@ Shape GlobalAvgPool::output_shape(const std::vector<Shape>& in) const {
 
 Tensor GlobalAvgPool::forward(const std::vector<const Tensor*>& in, bool train) {
   require_arity(in, 1, "GlobalAvgPool");
+  Tensor y(Shape::vec(in[0]->shape()[0]));
+  forward_into(in, y, train, nullptr);
+  return y;
+}
+
+void GlobalAvgPool::forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                                 float* /*scratch*/) {
+  require_arity(in, 1, "GlobalAvgPool");
   const Tensor& x = *in[0];
   const int C = x.shape()[0];
   const int hw = x.shape()[1] * x.shape()[2];
-  Tensor y(Shape::vec(C));
   for (int c = 0; c < C; ++c) {
     const float* chan = x.data() + static_cast<std::int64_t>(c) * hw;
     double s = 0.0;
     for (int i = 0; i < hw; ++i) s += chan[i];
-    y[c] = static_cast<float>(s / hw);
+    out[c] = static_cast<float>(s / hw);
   }
   if (train) cached_in_shape_ = x.shape();
-  return y;
 }
 
 std::vector<Tensor> GlobalAvgPool::backward(const Tensor& grad_out) {

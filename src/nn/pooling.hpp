@@ -21,6 +21,8 @@ class Pool2D final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 
@@ -44,6 +46,8 @@ class GlobalAvgPool final : public Layer {
 
   Shape output_shape(const std::vector<Shape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in, bool train) override;
+  void forward_into(const std::vector<const Tensor*>& in, Tensor& out, bool train,
+                    float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 

@@ -1,0 +1,44 @@
+#include "tensor/arena.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace netcut::tensor {
+
+namespace {
+constexpr std::size_t kAlignBytes = 64;  // cache line; covers any vector ISA
+}  // namespace
+
+Arena::~Arena() { release(); }
+
+Arena::Arena(Arena&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)), capacity_(std::exchange(other.capacity_, 0)) {}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+  }
+  return *this;
+}
+
+void Arena::release() {
+  std::free(base_);
+  base_ = nullptr;
+  capacity_ = 0;
+}
+
+void Arena::reserve(std::size_t floats) {
+  if (floats <= capacity_) return;
+  release();
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t bytes = floats * sizeof(float);
+  bytes = (bytes + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
+  base_ = static_cast<float*>(std::aligned_alloc(kAlignBytes, bytes));
+  if (base_ == nullptr) throw std::bad_alloc();
+  capacity_ = bytes / sizeof(float);
+}
+
+}  // namespace netcut::tensor

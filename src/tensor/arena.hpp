@@ -1,0 +1,43 @@
+// Aligned activation arena: one contiguous 64-byte-aligned float buffer the
+// memory planner carves into offset slots. The arena itself does no
+// lifetime bookkeeping — nn::MemoryPlan assigns non-overlapping offsets to
+// tensors whose live intervals intersect, and execution binds Tensor views
+// at those offsets before every planned forward pass.
+//
+// An arena is not thread-safe; parallel executors (the TrnEvaluator
+// harvest) give every worker its own Network clone and therefore its own
+// arena instance.
+#pragma once
+
+#include <cstddef>
+
+namespace netcut::tensor {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+
+  /// Grow capacity to at least `floats` elements. Existing contents are NOT
+  /// preserved and any outstanding views are invalidated, so executors
+  /// reserve before binding views for a pass. Shrink requests are ignored.
+  void reserve(std::size_t floats);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Pointer to the slot starting `offset` floats into the buffer. The
+  /// caller guarantees offset (+ slot size) <= capacity().
+  float* slot(std::size_t offset) { return base_ + offset; }
+
+ private:
+  void release();
+
+  float* base_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace netcut::tensor

@@ -110,96 +110,19 @@ void gemm_at(const float* a, const float* b, float* c, int m, int k, int n) {
   gemm_impl(at.data(), b, c, m, k, n, /*accumulate=*/false);
 }
 
-namespace {
-
-/// One dot product with eight-lane partial sums so the reduction
-/// vectorizes. The lane pattern is a function of k alone, so every c[i][j]
-/// sees one fixed operation order at any thread count.
-inline float dot8(const float* x, const float* y, int k) {
-  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  int kk = 0;
-  for (; kk + 8 <= k; kk += 8)
-    for (int l = 0; l < 8; ++l) lanes[l] += x[kk + l] * y[kk + l];
-  float s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
-            ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
-  for (; kk < k; ++kk) s += x[kk] * y[kk];
-  return s;
-}
-
-/// Four dot products against one shared y, fused into a single k pass so y
-/// is loaded once per step. Each row's lanes see the exact update sequence
-/// of dot8, so results match the remainder path bit-for-bit.
-inline void dot8x4(const float* x0, const float* x1, const float* x2, const float* x3,
-                   const float* y, int k, float* out, int stride) {
-  float l0[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  float l1[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  float l2[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  float l3[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  int kk = 0;
-  for (; kk + 8 <= k; kk += 8) {
-    for (int l = 0; l < 8; ++l) {
-      const float yv = y[kk + l];
-      l0[l] += x0[kk + l] * yv;
-      l1[l] += x1[kk + l] * yv;
-      l2[l] += x2[kk + l] * yv;
-      l3[l] += x3[kk + l] * yv;
-    }
-  }
-  float s0 = ((l0[0] + l0[1]) + (l0[2] + l0[3])) + ((l0[4] + l0[5]) + (l0[6] + l0[7]));
-  float s1 = ((l1[0] + l1[1]) + (l1[2] + l1[3])) + ((l1[4] + l1[5]) + (l1[6] + l1[7]));
-  float s2 = ((l2[0] + l2[1]) + (l2[2] + l2[3])) + ((l2[4] + l2[5]) + (l2[6] + l2[7]));
-  float s3 = ((l3[0] + l3[1]) + (l3[2] + l3[3])) + ((l3[4] + l3[5]) + (l3[6] + l3[7]));
-  for (; kk < k; ++kk) {
-    const float yv = y[kk];
-    s0 += x0[kk] * yv;
-    s1 += x1[kk] * yv;
-    s2 += x2[kk] * yv;
-    s3 += x3[kk] * yv;
-  }
-  out[0] = s0;
-  out[stride] = s1;
-  out[2 * stride] = s2;
-  out[3 * stride] = s3;
-}
-
-}  // namespace
-
 void gemm_bt(const float* a, const float* b, float* c, int m, int k, int n) {
-  // B stored NxK. Dot-product formulation; A rows are processed in panels of
-  // kRowTile so each streamed B row serves four dot products. Panels align
-  // to absolute row indices (parallelism splits the panel range), and each
-  // dot product has its own accumulators, so results are thread-count
-  // invariant.
-  auto panels_fn = [&](std::int64_t p0, std::int64_t p1) {
-    const std::int64_t i0 = p0 * kRowTile;
-    const std::int64_t i1 = p1 * kRowTile < m ? p1 * kRowTile : m;
-    std::int64_t i = i0;
-    for (; i + kRowTile <= i1; i += kRowTile) {
-      const float* a0 = a + i * k;
-      const float* a1 = a0 + k;
-      const float* a2 = a1 + k;
-      const float* a3 = a2 + k;
-      float* crow = c + i * n;
-      for (int j = 0; j < n; ++j)
-        dot8x4(a0, a1, a2, a3, b + static_cast<std::int64_t>(j) * k, k, crow + j, n);
-    }
-    for (; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int j = 0; j < n; ++j)
-        crow[j] = dot8(arow, b + static_cast<std::int64_t>(j) * k, k);
-    }
-  };
-  const std::int64_t panels = (m + kRowTile - 1) / kRowTile;
-  const std::int64_t flops = 2LL * m * k * n;
-  if (flops < kParallelFlopCutoff) {
-    panels_fn(0, panels);
-    return;
-  }
-  const std::int64_t panel_flops = 2LL * kRowTile * k * n;
-  const std::int64_t grain =
-      panel_flops > 0 ? (kParallelFlopCutoff + panel_flops - 1) / panel_flops : 1;
-  util::parallel_for(0, panels, grain, panels_fn);
+  // B stored NxK. The dot-product formulation walked B column-major through
+  // k-strided loads and ran at ~4 GFLOP/s vs 27-30 for the row-streaming
+  // kernel; packing B-transpose into a contiguous KxN buffer once (exactly
+  // the gemm_at treatment of A) costs O(k*n) moves against O(m*k*n) math and
+  // lets the whole product take the fast gemm_impl path.
+  static thread_local std::vector<float> bt;
+  const std::size_t need = static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  if (bt.size() < need) bt.resize(need);
+  for (int j = 0; j < n; ++j)
+    for (int kk = 0; kk < k; ++kk)
+      bt[static_cast<std::size_t>(kk) * n + j] = b[static_cast<std::size_t>(j) * k + kk];
+  gemm_impl(a, bt.data(), c, m, k, n, /*accumulate=*/false);
 }
 
 void gemv(const float* a, const float* x, float* y, int m, int n) {

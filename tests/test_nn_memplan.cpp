@@ -1,0 +1,249 @@
+// Memory-planned execution: the planned forward/backward path must be
+// bit-identical to the naive (per-node heap allocation) reference path —
+// same activations, same collected tensors, same parameter gradients — in
+// train and inference mode, at any thread count, on real zoo trunks and on
+// a TRN whose head joins the trunk through a multi-input combine node.
+// Also pins down the point of the exercise: far fewer heap allocations per
+// planned pass, and a planned activation peak below the naive sum.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/trn.hpp"
+#include "nn/activation.hpp"
+#include "nn/combine.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "nn/memory_plan.hpp"
+#include "nn/network.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Restores the default pool size when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { util::set_num_threads(util::default_thread_count()); }
+};
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<std::size_t>(a.numel())),
+            0)
+      << what;
+}
+
+/// Two networks over copies of one initialized graph: `planned` executes
+/// through the arena, `naive` through per-node allocation.
+struct NetPair {
+  Network planned;
+  Network naive;
+
+  explicit NetPair(const Graph& g) : planned(g), naive(g) {
+    planned.set_memory_planning(true);
+    naive.set_memory_planning(false);
+  }
+};
+
+Graph initialized_trunk(zoo::NetId id, int resolution, unsigned seed) {
+  Graph g = zoo::build_trunk(id, resolution);
+  util::Rng rng(seed);
+  init_graph(g, rng);
+  return g;
+}
+
+class MemPlanZoo : public ::testing::TestWithParam<zoo::NetId> {};
+
+TEST_P(MemPlanZoo, InferenceBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const Graph g = initialized_trunk(GetParam(), 32, 11);
+  util::Rng rng(12);
+  const Tensor x = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+  for (const int threads : {1, 8}) {
+    util::set_num_threads(threads);
+    NetPair nets(g);
+    const Tensor yp = nets.planned.forward(x);
+    const Tensor yn = nets.naive.forward(x);
+    expect_bitwise_equal(yp, yn,
+                         zoo::net_name(GetParam()) + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(MemPlanZoo, ForwardCollectMatchesNaive) {
+  PoolGuard guard;
+  const Graph g = initialized_trunk(GetParam(), 32, 21);
+  util::Rng rng(22);
+  const Tensor x = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+  std::vector<int> collect;
+  for (const BlockInfo& b : g.blocks()) collect.push_back(b.last_node);
+  NetPair nets(g);
+  const auto ap = nets.planned.forward_collect(x, collect);
+  const auto an = nets.naive.forward_collect(x, collect);
+  ASSERT_EQ(ap.size(), an.size());
+  for (std::size_t i = 0; i < ap.size(); ++i)
+    expect_bitwise_equal(ap[i], an[i], "collect[" + std::to_string(i) + "]");
+}
+
+TEST_P(MemPlanZoo, PlannedPeakBelowNaiveSum) {
+  Graph g = zoo::build_trunk(GetParam(), 32);
+  Network net(std::move(g));
+  const MemoryPlan& plan = net.plan_for({}, /*train=*/false);
+  EXPECT_LT(plan.planned_activation_floats(), plan.naive_activation_floats())
+      << zoo::net_name(GetParam());
+  EXPECT_GT(plan.planned_activation_floats(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nets, MemPlanZoo,
+                         ::testing::Values(zoo::NetId::kResNet50, zoo::NetId::kMobileNetV2_100,
+                                           zoo::NetId::kInceptionV3),
+                         [](const ::testing::TestParamInfo<zoo::NetId>& info) {
+                           std::string n = zoo::net_name(info.param);
+                           for (char& c : n)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(MemPlan, EveryZooNetPlansBelowNaiveSum) {
+  for (const zoo::NetId id : zoo::all_nets()) {
+    Graph g = zoo::build_trunk(id, 32);
+    Network net(std::move(g));
+    const MemoryPlan& inference = net.plan_for({}, /*train=*/false);
+    EXPECT_LT(inference.planned_activation_floats(), inference.naive_activation_floats())
+        << zoo::net_name(id);
+  }
+}
+
+TEST(MemPlan, TrainForwardBackwardBitIdentical) {
+  // TRN over a MobileNetV2 prefix: the retraining path. The head attaches
+  // through the trunk cut, and train-mode passes must produce identical
+  // parameter gradients through either execution path.
+  PoolGuard guard;
+  const Graph trunk = initialized_trunk(zoo::NetId::kMobileNetV2_100, 32, 31);
+  const auto cuts = core::blockwise_cutpoints(trunk);
+  util::Rng rng(32);
+  const Graph trn = core::build_trn(trunk, cuts[cuts.size() / 2], core::HeadConfig{}, rng);
+
+  const Tensor x = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+  for (const int threads : {1, 8}) {
+    util::set_num_threads(threads);
+    NetPair nets(trn);
+    const Tensor yp = nets.planned.forward(x, /*train=*/true);
+    const Tensor yn = nets.naive.forward(x, /*train=*/true);
+    expect_bitwise_equal(yp, yn, "train forward, threads=" + std::to_string(threads));
+
+    util::Rng grad_rng(33);
+    const Tensor gout = Tensor::randn(yp.shape(), grad_rng);
+    nets.planned.zero_grads();
+    nets.naive.zero_grads();
+    nets.planned.backward(gout);
+    nets.naive.backward(gout);
+    const auto gp = nets.planned.grads();
+    const auto gn = nets.naive.grads();
+    ASSERT_EQ(gp.size(), gn.size());
+    for (std::size_t i = 0; i < gp.size(); ++i)
+      expect_bitwise_equal(*gp[i], *gn[i], "grad[" + std::to_string(i) + "]");
+  }
+}
+
+TEST(MemPlan, MultiInputCombineBitIdentical) {
+  // Diamond with an explicit multi-input combine node, train and inference.
+  auto diamond = [] {
+    Graph g;
+    const int in = g.add_input(Shape::chw(2, 8, 8));
+    const int stem = g.add(std::make_unique<Conv2D>(2, 4, 3, 1), {in}, "stem");
+    const int a = g.add(std::make_unique<Conv2D>(4, 4, 3, 1), {stem}, "a");
+    const int b = g.add(std::make_unique<Conv2D>(4, 4, 1, 1), {stem}, "b");
+    const int add = g.add(std::make_unique<Add>(2), {a, b}, "add");
+    g.add(std::make_unique<ReLU>(false), {add}, "out");
+    return g;
+  };
+  Graph g = diamond();
+  util::Rng rng(41);
+  init_graph(g, rng);
+  const Tensor x = Tensor::randn(Shape::chw(2, 8, 8), rng, 0.5f);
+  for (const bool train : {false, true}) {
+    NetPair nets(g);
+    const Tensor yp = nets.planned.forward(x, train);
+    const Tensor yn = nets.naive.forward(x, train);
+    expect_bitwise_equal(yp, yn, train ? "train" : "inference");
+  }
+}
+
+TEST(MemPlan, RepeatedPlannedForwardsAllocateFarLess) {
+  // The acceptance bar for the arena path: a steady-state planned forward
+  // performs at least 5x fewer heap allocations than a naive one. The first
+  // planned call builds the plan and sizes the arena, so measure from the
+  // second call on.
+  const Graph g = initialized_trunk(zoo::NetId::kMobileNetV2_100, 32, 51);
+  util::Rng rng(52);
+  const Tensor x = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+
+  NetPair nets(g);
+  (void)nets.planned.forward(x);  // warm-up: plan + arena + conv scratch
+  (void)nets.naive.forward(x);
+
+  const std::uint64_t p0 = tensor::tensor_alloc_count();
+  const Tensor yp = nets.planned.forward(x);
+  const std::uint64_t planned_allocs = tensor::tensor_alloc_count() - p0;
+
+  const std::uint64_t n0 = tensor::tensor_alloc_count();
+  const Tensor yn = nets.naive.forward(x);
+  const std::uint64_t naive_allocs = tensor::tensor_alloc_count() - n0;
+
+  expect_bitwise_equal(yp, yn, "steady-state forward");
+  EXPECT_GE(naive_allocs, 5 * planned_allocs)
+      << "planned=" << planned_allocs << " naive=" << naive_allocs;
+}
+
+TEST(MemPlan, CollectedTensorsOutliveTheArena) {
+  // Collected activations must be deep copies: mutating the network's state
+  // with further passes may not change previously harvested tensors.
+  const Graph g = initialized_trunk(zoo::NetId::kMobileNetV1_025, 32, 61);
+  util::Rng rng(62);
+  const Tensor x1 = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+  const Tensor x2 = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+  Network net(g);
+  net.set_memory_planning(true);
+  std::vector<int> collect;
+  for (const BlockInfo& b : net.graph().blocks()) collect.push_back(b.last_node);
+  auto first = net.forward_collect(x1, collect);
+  std::vector<Tensor> snapshot;
+  for (const Tensor& t : first) snapshot.push_back(t);
+  (void)net.forward_collect(x2, collect);  // overwrites the arena
+  for (std::size_t i = 0; i < first.size(); ++i)
+    expect_bitwise_equal(first[i], snapshot[i], "harvested[" + std::to_string(i) + "]");
+}
+
+TEST(MemPlan, PlanIntervalsNeverAliasLiveBuffers) {
+  // Structural invariant: two activations whose live intervals overlap must
+  // occupy disjoint arena ranges (offsets are in floats; slots are aligned).
+  Graph g = zoo::build_trunk(zoo::NetId::kInceptionV3, 32);
+  const auto shapes = g.infer_shapes();
+  const MemoryPlan plan(g, shapes, {}, /*train=*/false);
+  const int n = plan.node_count();
+  for (int i = 1; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool overlap = i <= plan.last_use(j) && j <= plan.last_use(i);
+      if (!overlap) continue;
+      const PlanSlot& si = plan.activation(i);
+      const PlanSlot& sj = plan.activation(j);
+      const bool disjoint =
+          si.offset + si.floats <= sj.offset || sj.offset + sj.floats <= si.offset;
+      EXPECT_TRUE(disjoint) << "nodes " << i << " and " << j << " alias";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netcut::nn
