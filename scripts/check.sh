@@ -1,28 +1,42 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus sanitizer spot-checks, as one command:
+# Tier-1 verification plus the hardening wall, as one command:
 #
 #   ./scripts/check.sh            # or: cmake --build build --target check
 #
-# 1. configure + build the default tree (build/)
-# 2. run the full ctest suite
-# 3. build the thread-pool and memory-planner tests under AddressSanitizer
-#    (build-asan/) and run them — the two subsystems that juggle raw
-#    lifetimes (pool workers, arena-backed tensor views).
+# 1. configure + build the default tree (build/) — all first-party code
+#    compiles under -Wall -Wextra -Werror -Wshadow -Wold-style-cast
+# 2. run the full ctest suite (graph verifier included: NETCUT_VERIFY
+#    defaults to static mode, so every builder/cut/plan self-checks)
+# 3. AddressSanitizer (build-asan/): thread pool, memory planner and graph
+#    verifier tests — the subsystems that juggle raw lifetimes
+# 4. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
+#    -fno-sanitize-recover=all, so any UB aborts the run
+# 5. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
+#    has no clang-tidy)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/3] configure + build (build/)"
+echo "==> [1/5] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/3] ctest (full tier-1 suite)"
+echo "==> [2/5] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/3] ASan: thread pool + memory planner"
+echo "==> [3/5] ASan: thread pool + memory planner + verifier"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$(nproc)" --target test_util_threadpool test_nn_memplan
-ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan' \
+cmake --build build-asan -j "$(nproc)" \
+  --target test_util_threadpool test_nn_memplan test_nn_verify
+ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify' \
   --output-on-failure -j "$(nproc)"
+
+echo "==> [4/5] UBSan: full tier-1 suite"
+cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$(nproc)"
+ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
+
+echo "==> [5/5] clang-tidy"
+./scripts/tidy.sh
 
 echo "==> check passed"

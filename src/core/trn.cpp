@@ -6,6 +6,7 @@
 #include "nn/dense.hpp"
 #include "nn/init.hpp"
 #include "nn/pooling.hpp"
+#include "nn/verify.hpp"
 
 namespace netcut::core {
 
@@ -41,11 +42,15 @@ nn::Graph attach_head(nn::Graph g, const HeadConfig& head, util::Rng& rng) {
   nn::xavier_init_dense(fc3->weight(), rng);
   x = g.add(std::move(fc3), {x}, "head/logits");
   if (head.with_softmax) g.add(std::make_unique<nn::Softmax>(), {x}, "head/softmax");
+  nn::check_graph(g, "attach_head");
   return g;
 }
 
 nn::Graph build_trn(const nn::Graph& trunk, int cut_node, const HeadConfig& head,
                     util::Rng& rng) {
+  // A cut that does not dominate the trunk output would sever an
+  // Add/Concat operand inside a block; reject it before grafting.
+  nn::check_cut_site(trunk, cut_node, "build_trn");
   return attach_head(trunk.prefix(cut_node), head, rng);
 }
 

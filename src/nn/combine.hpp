@@ -40,6 +40,8 @@ class Add final : public Layer {
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
 
+  int arity() const { return arity_; }
+
  private:
   int arity_;
 };
@@ -59,6 +61,8 @@ class Concat final : public Layer {
                     float* scratch) override;
   std::vector<Tensor> backward(const Tensor& grad_out) override;
   LayerCost cost(const std::vector<Shape>& in) const override;
+
+  int arity() const { return arity_; }
 
  private:
   int arity_;

@@ -52,11 +52,11 @@ GradCheckResult check_input_gradient(
     Node& nd = const_cast<Graph&>(graph).node(id);
     std::vector<Tensor> gin = nd.layer->backward(go);
     for (std::size_t i = 0; i < nd.inputs.size(); ++i) {
-      Tensor& acc = grad[static_cast<std::size_t>(nd.inputs[i])];
-      if (acc.empty())
-        acc = std::move(gin[i]);
+      Tensor& sink = grad[static_cast<std::size_t>(nd.inputs[i])];
+      if (sink.empty())
+        sink = std::move(gin[i]);
       else
-        acc += gin[i];
+        sink += gin[i];
     }
   }
   const Tensor& analytic = grad[0];

@@ -28,6 +28,8 @@ void Graph::copy_from(const Graph& other) {
     copy.block_name = n.block_name;
     nodes_.push_back(std::move(copy));
   }
+  // The cache payload is immutable once published, so clones share it.
+  shape_cache_ = other.shape_cache_;
 }
 
 int Graph::add_input(Shape shape) {
@@ -36,6 +38,7 @@ int Graph::add_input(Shape shape) {
   n.layer = std::make_unique<Input>(std::move(shape));
   n.name = "input";
   nodes_.push_back(std::move(n));
+  shape_cache_.reset();
   return 0;
 }
 
@@ -55,6 +58,7 @@ int Graph::add(std::unique_ptr<Layer> layer, std::vector<int> inputs, std::strin
   n.block_id = block_id;
   n.block_name = std::move(block_name);
   nodes_.push_back(std::move(n));
+  shape_cache_.reset();
   return id;
 }
 
@@ -73,8 +77,9 @@ const Shape& Graph::input_shape() const {
   return static_cast<const Input&>(*nodes_[0].layer).declared_shape();
 }
 
-std::vector<Shape> Graph::infer_shapes() const {
+const std::vector<Shape>& Graph::infer_shapes() const {
   if (nodes_.empty()) throw std::logic_error("Graph: empty");
+  if (shape_cache_) return *shape_cache_;
   std::vector<Shape> shapes(nodes_.size());
   shapes[0] = input_shape();
   for (int id = 1; id < node_count(); ++id) {
@@ -89,7 +94,8 @@ std::vector<Shape> Graph::infer_shapes() const {
                                   n.name + "): " + e.what());
     }
   }
-  return shapes;
+  shape_cache_ = std::make_shared<const std::vector<Shape>>(std::move(shapes));
+  return *shape_cache_;
 }
 
 std::vector<BlockInfo> Graph::blocks() const {
@@ -178,7 +184,7 @@ Graph Graph::prefix(int node_id) const {
 }
 
 LayerCost Graph::total_cost() const {
-  const std::vector<Shape> shapes = infer_shapes();
+  const std::vector<Shape>& shapes = infer_shapes();
   LayerCost total;
   for (int id = 1; id < node_count(); ++id) {
     const Node& n = nodes_[static_cast<std::size_t>(id)];

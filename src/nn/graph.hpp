@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -57,7 +58,24 @@ class Graph {
   const Shape& input_shape() const;
 
   /// Shape of every node's output, in node order. Validates the graph.
-  std::vector<Shape> infer_shapes() const;
+  /// The result is computed once and cached; add()/add_input() and
+  /// assignment invalidate the cache, so repeated callers (network
+  /// construction, plan building, TRN cutting, device costing, pretrained
+  /// harvesting) pay the per-layer shape walk only once per graph.
+  /// Structural mutation through the non-const node() accessor is NOT
+  /// tracked — such callers must invalidate_shape_cache() themselves, and
+  /// nn::verify_graph cross-checks cache coherency either way. The lazy
+  /// fill is not thread-safe; concurrent executors operate on per-worker
+  /// Graph clones (each clone re-derives its own cache).
+  const std::vector<Shape>& infer_shapes() const;
+
+  /// Drop the cached shape vector (next infer_shapes() recomputes).
+  void invalidate_shape_cache() { shape_cache_.reset(); }
+
+  /// The cached shape vector, or nullptr when no infer_shapes() call has
+  /// populated it since the last mutation. Used by nn::verify_graph to
+  /// cross-check cache coherency against an independent re-derivation.
+  const std::vector<Shape>* cached_shapes() const { return shape_cache_.get(); }
 
   /// Blocks in topological order of their last node. Only nodes with
   /// block_id >= 0 participate. Requires each block to be contiguous and to
@@ -82,6 +100,9 @@ class Graph {
  private:
   void copy_from(const Graph& other);
   std::vector<Node> nodes_;
+  // Cached infer_shapes() result. Shared (immutable payload) so copying a
+  // graph shares the already-computed shapes instead of re-deriving them.
+  mutable std::shared_ptr<const std::vector<Shape>> shape_cache_;
 };
 
 }  // namespace netcut::nn

@@ -87,6 +87,11 @@ class Layer {
   virtual std::vector<Tensor*> grads() { return {}; }
   void zero_grads();
 
+  /// Persistent state: parameters plus whatever non-parameter tensors must
+  /// survive serialization (BatchNorm running statistics). Serialization
+  /// and the verifier's non-finite-parameter scan both walk this list.
+  virtual std::vector<Tensor*> state() { return params(); }
+
   virtual LayerCost cost(const std::vector<Shape>& in) const = 0;
 
   std::int64_t param_count() const;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "nn/verify.hpp"
+
 namespace netcut::nn {
 
 namespace {
@@ -110,6 +112,11 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
     slot.offset = place(placed, align_up(floats), id, id);
   }
   arena_floats_ = high_water(placed);
+
+  // Every plan the greedy assignment emits is proven non-aliasing by the
+  // verifier's independent interval re-derivation before it can be used
+  // (no-op under NETCUT_VERIFY=0).
+  check_plan(graph, *this, "MemoryPlan");
 }
 
 bool MemoryPlan::matches(int node_count, const std::vector<int>& collect, bool train) const {

@@ -58,6 +58,11 @@ class MemoryPlan {
   /// Last node (inclusive) that reads node `id`'s activation.
   int last_use(int id) const { return last_use_[static_cast<std::size_t>(id)]; }
 
+  /// The collect set and train flag the plan was built for. The verifier's
+  /// independent alias proof re-derives live intervals from these.
+  const std::vector<int>& collect() const { return collect_; }
+  bool train() const { return train_; }
+
   int node_count() const { return static_cast<int>(activations_.size()); }
 
  private:

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/verify.hpp"
+
 namespace netcut::nn {
 
 namespace {
@@ -19,7 +21,8 @@ bool default_memory_planning() { return g_default_planning; }
 void set_default_memory_planning(bool on) { g_default_planning = on; }
 
 Network::Network(Graph graph) : graph_(std::move(graph)) {
-  graph_.infer_shapes();  // validate eagerly
+  graph_.infer_shapes();           // validate eagerly (and populate the cache)
+  check_graph(graph_, "Network");  // structural lint; no-op when NETCUT_VERIFY=0
 }
 
 Network::Network(const Network& other)
@@ -66,6 +69,13 @@ std::vector<Tensor> Network::forward_collect_planned(const Tensor& input,
   const MemoryPlan& plan = plan_for(collect, train);
   arena_.reserve(plan.arena_floats());
 
+  // Runtime numerics guard: poison the planned region so a layer that
+  // reads or keeps memory it never wrote produces a recognizable pattern,
+  // then scan every output as it is produced.
+  const bool guard = runtime_verify_enabled();
+  VerifyReport guard_report;
+  if (guard) arena_.poison(0, plan.arena_floats());
+
   activations_.assign(static_cast<std::size_t>(n), Tensor());
   // Node 0 is the Input placeholder: read-only, so it views the caller's
   // buffer directly instead of copying it into the arena.
@@ -83,6 +93,7 @@ std::vector<Tensor> Network::forward_collect_planned(const Tensor& input,
     float* scratch =
         plan.scratch(id).floats != 0 ? arena_.slot(plan.scratch(id).offset) : nullptr;
     nd.layer->forward_into(in, out, train, scratch);
+    if (guard) scan_activation(out, id, nd.name, guard_report);
     activations_[static_cast<std::size_t>(id)] = std::move(out);
     if (!train && id != n - 1) {
       // Inference: a source whose last consumer just ran is dead — its arena
@@ -96,6 +107,7 @@ std::vector<Tensor> Network::forward_collect_planned(const Tensor& input,
     }
   }
   have_activations_ = true;
+  if (guard) enforce(guard_report, "Network::forward (runtime numerics guard)");
 
   // push_back copies the views, which materializes owning tensors — the
   // returned activations are independent of the arena.
@@ -117,6 +129,8 @@ std::vector<Tensor> Network::forward_collect(const Tensor& input,
   if (planning_) return forward_collect_planned(input, collect, train);
 
   const int n = graph_.node_count();
+  const bool guard = runtime_verify_enabled();
+  VerifyReport guard_report;
   activations_.assign(static_cast<std::size_t>(n), Tensor());
   activations_[0] = input;
   for (int id = 1; id < n; ++id) {
@@ -129,8 +143,11 @@ std::vector<Tensor> Network::forward_collect(const Tensor& input,
       in.push_back(&t);
     }
     activations_[static_cast<std::size_t>(id)] = nd.layer->forward(in, train);
+    if (guard) scan_activation(activations_[static_cast<std::size_t>(id)], id, nd.name,
+                               guard_report);
   }
   have_activations_ = true;
+  if (guard) enforce(guard_report, "Network::forward (runtime numerics guard)");
 
   std::vector<Tensor> out;
   out.reserve(collect.size() + 1);

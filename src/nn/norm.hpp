@@ -29,6 +29,9 @@ class BatchNorm final : public Layer {
 
   std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> grads() override { return {&grad_gamma_, &grad_beta_}; }
+  std::vector<Tensor*> state() override {
+    return {&gamma_, &beta_, &running_mean_, &running_var_};
+  }
   LayerCost cost(const std::vector<Shape>& in) const override;
 
   int channels() const { return channels_; }

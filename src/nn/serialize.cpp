@@ -4,24 +4,12 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "nn/norm.hpp"
+#include "nn/verify.hpp"
 
 namespace netcut::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4E43574Du;  // "NCWM"
-
-std::vector<Tensor*> persistent_state(Layer& layer) {
-  // Parameters plus whatever non-parameter state must survive (batch-norm
-  // running statistics).
-  std::vector<Tensor*> out = layer.params();
-  if (layer.kind() == LayerKind::kBatchNorm) {
-    auto& bn = static_cast<class BatchNorm&>(layer);
-    out.push_back(&bn.running_mean());
-    out.push_back(&bn.running_var());
-  }
-  return out;
-}
 }  // namespace
 
 void save_params(const Graph& graph, const std::string& path) {
@@ -33,7 +21,7 @@ void save_params(const Graph& graph, const std::string& path) {
   for (int id = 1; id < graph.node_count(); ++id) {
     Layer& layer = *const_cast<Graph&>(graph).node(id).layer;
     put_u32(static_cast<std::uint32_t>(layer.kind()));
-    const auto tensors = persistent_state(layer);
+    const auto tensors = layer.state();
     put_u32(static_cast<std::uint32_t>(tensors.size()));
     for (const Tensor* t : tensors) {
       put_u32(static_cast<std::uint32_t>(t->numel()));
@@ -61,7 +49,7 @@ bool load_params(Graph& graph, const std::string& path) {
     if (get_u32() != static_cast<std::uint32_t>(layer.kind()))
       throw std::runtime_error("load_params: layer kind mismatch at node " +
                                std::to_string(id));
-    const auto tensors = persistent_state(layer);
+    const auto tensors = layer.state();
     if (get_u32() != tensors.size())
       throw std::runtime_error("load_params: tensor count mismatch at node " +
                                std::to_string(id));
@@ -74,6 +62,10 @@ bool load_params(Graph& graph, const std::string& path) {
       if (!in) throw std::runtime_error("load_params: truncated tensor data in " + path);
     }
   }
+  // A weight file that parses can still carry corrupt contents; lint the
+  // deserialized graph and scan every loaded tensor for non-finite values.
+  check_graph(graph, "load_params");
+  check_params(graph, "load_params");
   return true;
 }
 

@@ -1,0 +1,178 @@
+// nn::verify — static analysis over the Graph IR and its memory plans.
+//
+// NetCut mutates pretrained graphs programmatically (trunk cutting, head
+// grafting, Conv+BN folding, deserialization), and PR 2 added a greedy
+// activation-memory planner. Silent IR corruption — a dangling edge after a
+// remap, an aliased arena slot, a cut inside a residual block — executes
+// "successfully" and produces wrong numbers. This pass is the wall between
+// every graph transform and execution: O(nodes·edges), no forward
+// execution, re-deriving every invariant with an implementation independent
+// of the code it checks.
+//
+// Three analyzer families:
+//   * structural lint   (verify_graph)    — dangling/unreachable nodes,
+//     cycles, topological-order violations, arity mismatches, duplicate
+//     edges, per-layer shape re-derivation cross-checked against the
+//     Graph's cached infer_shapes(), block contiguity, block cut sites
+//     that do not dominate the output;
+//   * memory-plan alias proof (verify_plan) — live intervals re-derived
+//     from the graph (def -> last consumer, collect/output/train pinning)
+//     and checked interval-vs-offset against every slot the planner
+//     emitted, so the greedy best-fit assignment is proven non-aliasing by
+//     a second implementation rather than trusted;
+//   * numerics guard (scan_activation / verify_params + VerifyMode::
+//     kRuntime) — fresh arena slots are poisoned with a signaling-NaN
+//     pattern and layer outputs are scanned for poison survivors
+//     (use-before-write), NaN/Inf (exploding activations), and denormal
+//     storms.
+//
+// Analyzers return structured Finding diagnostics instead of throwing
+// mid-way, so one verify call reports every defect at once. The check_*
+// wrappers are the auto-invoked hooks: they no-op when verification is off
+// (NETCUT_VERIFY=0) and throw a VerifyError listing all findings when any
+// error-severity finding survives.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/memory_plan.hpp"
+
+namespace netcut::nn {
+
+enum class Severity { kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// One diagnostic. `rule` is a stable machine-matchable id from nn::rules.
+struct Finding {
+  Severity severity = Severity::kError;
+  int node = -1;  // offending node id; -1 for graph-global findings
+  std::string rule;
+  std::string message;
+};
+
+struct VerifyReport {
+  std::vector<Finding> findings;
+
+  /// True when no error-severity finding is present (warnings allowed).
+  bool ok() const;
+  /// Number of error-severity findings.
+  int errors() const;
+  bool has(const std::string& rule) const;
+  std::string to_string() const;
+  void add(Severity severity, int node, const char* rule, std::string message);
+};
+
+// Stable rule ids. Tests and downstream tooling match on these strings;
+// renaming one is a breaking change.
+namespace rules {
+inline constexpr const char* kInputNode = "graph.input-node";
+inline constexpr const char* kDanglingEdge = "graph.dangling-edge";
+inline constexpr const char* kTopoOrder = "graph.topo-order";
+inline constexpr const char* kCycle = "graph.cycle";
+inline constexpr const char* kArity = "graph.arity";
+inline constexpr const char* kDuplicateEdge = "graph.duplicate-edge";
+inline constexpr const char* kShape = "graph.shape";
+inline constexpr const char* kShapeCache = "graph.shape-cache";
+inline constexpr const char* kUnreachable = "graph.unreachable";
+inline constexpr const char* kBlock = "graph.block";
+inline constexpr const char* kCutSite = "trn.cut-site";
+inline constexpr const char* kPlanStructure = "plan.structure";
+inline constexpr const char* kPlanShape = "plan.shape";
+inline constexpr const char* kPlanInterval = "plan.interval";
+inline constexpr const char* kPlanSlotSize = "plan.slot-size";
+inline constexpr const char* kPlanCapacity = "plan.capacity";
+inline constexpr const char* kPlanAlias = "plan.alias";
+inline constexpr const char* kUseBeforeWrite = "numerics.use-before-write";
+inline constexpr const char* kNonFinite = "numerics.non-finite";
+inline constexpr const char* kDenormal = "numerics.denormal-storm";
+inline constexpr const char* kParamNonFinite = "numerics.param-non-finite";
+}  // namespace rules
+
+// ---- Analyzer family 1: structural lint --------------------------------
+
+/// Full structural lint of a graph. Never throws on IR defects; every
+/// violated invariant becomes a Finding.
+VerifyReport verify_graph(const Graph& graph);
+
+/// Is `cut_node` a legal TRN cut site of `trunk`? Legal means: a real,
+/// non-input node that dominates the trunk output — cutting anywhere else
+/// (inside a residual or Inception block) severs an Add/Concat operand.
+VerifyReport verify_cut_site(const Graph& trunk, int cut_node);
+
+// ---- Analyzer family 2: memory-plan alias proof ------------------------
+
+/// One planned arena slot as seen by the independent checker.
+struct SlotView {
+  int node = -1;
+  bool is_scratch = false;
+  std::size_t offset = 0;
+  std::size_t floats = 0;  // reserved extent checked for aliasing
+  int def = 0;             // live interval, inclusive
+  int last = 0;
+};
+
+/// Core alias proof over raw slots: every pair of slots whose live
+/// intervals intersect must occupy disjoint [offset, offset+floats)
+/// ranges, and every slot must fit in `capacity`. Exposed separately so
+/// tests can seed deliberately-aliased plans.
+void check_slots(const std::vector<SlotView>& slots, std::size_t capacity,
+                 VerifyReport& report);
+
+/// Independent re-derivation of activation live intervals (def -> last
+/// consumer, collect/output/train pinning, per-node scratch) checked
+/// against every slot `plan` emitted for `graph`.
+VerifyReport verify_plan(const Graph& graph, const MemoryPlan& plan);
+
+// ---- Analyzer family 3: numerics guard ---------------------------------
+
+/// Scan one layer output for poison survivors (use-before-write), NaN/Inf,
+/// and denormal storms; findings are appended to `report`.
+void scan_activation(const Tensor& t, int node, const std::string& name,
+                     VerifyReport& report);
+
+/// Scan every layer's persistent state (weights, BN running statistics)
+/// for non-finite values — the deserialization numerics check.
+VerifyReport verify_params(const Graph& graph);
+
+// ---- Mode plumbing and auto-invoked hooks ------------------------------
+
+/// kOff: all check_* hooks no-op. kStatic (default): graph/plan/cut-site
+/// checks run after every construction and mutation. kRuntime: kStatic
+/// plus the per-forward poison-and-scan numerics guard.
+/// Initialized from NETCUT_VERIFY: "0" selects kOff, "2" or "runtime"
+/// selects kRuntime, anything else (or unset) selects kStatic.
+enum class VerifyMode { kOff, kStatic, kRuntime };
+
+VerifyMode verify_mode();
+void set_verify_mode(VerifyMode mode);
+/// True when the per-forward numerics guard should run.
+bool runtime_verify_enabled();
+
+/// Thrown by the check_* hooks. Derives std::invalid_argument so callers
+/// that predate the verifier keep catching construction errors.
+class VerifyError : public std::invalid_argument {
+ public:
+  VerifyError(std::string context, VerifyReport report);
+  const VerifyReport& report() const { return report_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  std::string context_;
+  VerifyReport report_;
+};
+
+/// Throw VerifyError if `report` carries error-severity findings.
+void enforce(const VerifyReport& report, const std::string& context);
+
+// Auto-invoked hooks: no-op when verify_mode() == kOff, otherwise run the
+// analyzer and enforce the result.
+void check_graph(const Graph& graph, const char* context);
+void check_plan(const Graph& graph, const MemoryPlan& plan, const char* context);
+void check_cut_site(const Graph& trunk, int cut_node, const char* context);
+void check_params(const Graph& graph, const char* context);
+
+}  // namespace netcut::nn

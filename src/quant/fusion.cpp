@@ -6,6 +6,7 @@
 
 #include "nn/conv.hpp"
 #include "nn/norm.hpp"
+#include "nn/verify.hpp"
 
 namespace netcut::quant {
 
@@ -115,6 +116,9 @@ nn::Graph fold_batchnorm(const nn::Graph& graph, FusionReport* report) {
     report->nodes_before = graph.node_count();
     report->nodes_after = out.node_count();
   }
+  // The fold rebuilds the graph through a node remap; lint the result so a
+  // remap bug cannot ship a silently corrupt network.
+  nn::check_graph(out, "fold_batchnorm");
   return out;
 }
 

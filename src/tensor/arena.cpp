@@ -1,6 +1,8 @@
 #include "tensor/arena.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <utility>
 
@@ -28,6 +30,17 @@ void Arena::release() {
   std::free(base_);
   base_ = nullptr;
   capacity_ = 0;
+}
+
+void Arena::poison(std::size_t offset, std::size_t floats) {
+  if (base_ == nullptr || offset >= capacity_) return;
+  const std::size_t count = std::min(floats, capacity_ - offset);
+  // memcpy the bit pattern instead of assigning a float: the payload is a
+  // signaling NaN and must reach memory without passing through the FPU.
+  float pattern;
+  static_assert(sizeof(pattern) == sizeof(kArenaPoisonBits));
+  std::memcpy(&pattern, &kArenaPoisonBits, sizeof(pattern));
+  std::fill(base_ + offset, base_ + offset + count, pattern);
 }
 
 void Arena::reserve(std::size_t floats) {

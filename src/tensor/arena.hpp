@@ -10,8 +10,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace netcut::tensor {
+
+/// Bit pattern Arena::poison writes into slots: a signaling NaN with a
+/// recognizable payload (exponent all-ones, quiet bit clear, mantissa
+/// 0x25A5A5). nn::verify's runtime numerics guard scans layer outputs for
+/// this exact pattern to catch use-before-write: a slot the planner bound
+/// but the layer never stored to still carries the poison bits verbatim.
+inline constexpr std::uint32_t kArenaPoisonBits = 0x7FA5A5A5u;
 
 class Arena {
  public:
@@ -32,6 +40,11 @@ class Arena {
   /// Pointer to the slot starting `offset` floats into the buffer. The
   /// caller guarantees offset (+ slot size) <= capacity().
   float* slot(std::size_t offset) { return base_ + offset; }
+
+  /// Fill `floats` elements starting at `offset` with kArenaPoisonBits
+  /// (clamped to capacity). The runtime numerics guard poisons the planned
+  /// region before a pass so unwritten reads are detectable.
+  void poison(std::size_t offset, std::size_t floats);
 
  private:
   void release();

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "nn/activation.hpp"
 #include "nn/conv.hpp"
 #include "nn/norm.hpp"
+#include "nn/verify.hpp"
 
 namespace netcut::zoo {
 
@@ -50,6 +52,11 @@ int dwconv_bn_act(Graph& g, int in, int channels, int stride, const std::string&
   const int bn = g.add(std::make_unique<nn::BatchNorm>(channels), {conv}, name + "/bn", block_id,
                        block_name);
   return g.add(std::make_unique<nn::ReLU>(relu6), {bn}, name + "/act", block_id, block_name);
+}
+
+Graph finish_trunk(Graph&& g, const char* builder) {
+  nn::check_graph(g, builder);
+  return std::move(g);
 }
 
 }  // namespace netcut::zoo

@@ -41,4 +41,9 @@ int conv_bn(Graph& g, int in, int in_c, int out_c, int kernel, int stride,
 int dwconv_bn_act(Graph& g, int in, int channels, int stride, const std::string& name,
                   int block_id, const std::string& block_name, bool relu6 = false);
 
+/// Verify-on-build gate every zoo builder returns through: runs the
+/// nn::verify structural lint over the finished trunk (no-op when
+/// NETCUT_VERIFY=0) and hands the graph back.
+Graph finish_trunk(Graph&& g, const char* builder);
+
 }  // namespace netcut::zoo

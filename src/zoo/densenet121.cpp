@@ -4,6 +4,8 @@
 // Removal granularity: each dense layer (BN-ReLU-1x1-BN-ReLU-3x3-concat) is
 // one removable block, as are the transitions and the final norm — this is
 // what lets DenseNet shed >100 layers with a smooth accuracy curve (Fig 5).
+#include <utility>
+
 #include "zoo/common.hpp"
 #include "zoo/zoo.hpp"
 
@@ -74,7 +76,7 @@ nn::Graph build_densenet121(int resolution) {
   // Final norm, its own removable block.
   x = g.add(std::make_unique<nn::BatchNorm>(in_c), {x}, "final/bn", block_id, "final_norm");
   g.add(std::make_unique<nn::ReLU>(false), {x}, "final/relu", block_id, "final_norm");
-  return g;
+  return finish_trunk(std::move(g), "zoo/densenet121");
 }
 
 }  // namespace netcut::zoo

@@ -2,6 +2,8 @@
 // stays valid at the reduced experiment resolutions. 11 removable modules:
 // 3x InceptionA, ReductionA, 4x InceptionB (factorized 1x7/7x1), ReductionB,
 // 2x InceptionC.
+#include <utility>
+
 #include "zoo/common.hpp"
 #include "zoo/zoo.hpp"
 
@@ -138,7 +140,7 @@ nn::Graph build_inception_v3(int resolution) {
   x = reduction_b(g, x, 768, block, "mixed" + std::to_string(block)); ++block;      // 1280
   x = inception_c(g, x, 1280, block, "mixed" + std::to_string(block)); ++block;     // 2048
   x = inception_c(g, x, 2048, block, "mixed" + std::to_string(block)); ++block;     // 2048
-  return g;
+  return finish_trunk(std::move(g), "zoo/inception_v3");
 }
 
 }  // namespace netcut::zoo

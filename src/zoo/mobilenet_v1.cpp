@@ -1,6 +1,8 @@
 // MobileNetV1 (Howard et al., 2017) with width multiplier alpha.
 // Structure: stem conv, then 13 depthwise-separable blocks. Each separable
 // block (dw 3x3 + pw 1x1, both BN+ReLU6) is one removable block.
+#include <utility>
+
 #include "zoo/common.hpp"
 #include "zoo/zoo.hpp"
 
@@ -33,7 +35,7 @@ nn::Graph build_mobilenet_v1(double alpha, int resolution) {
     in_c = ch(d.out);
     ++block_id;
   }
-  return g;
+  return finish_trunk(std::move(g), "zoo/mobilenet_v1");
 }
 
 }  // namespace netcut::zoo

@@ -2,6 +2,8 @@
 // Structure: stem conv, 17 inverted-residual bottlenecks from the standard
 // (t, c, n, s) table, and a final 1x1 feature conv. Each bottleneck is a
 // removable block; the final conv is the last removable block.
+#include <utility>
+
 #include "zoo/common.hpp"
 #include "zoo/zoo.hpp"
 
@@ -59,7 +61,7 @@ nn::Graph build_mobilenet_v2(double alpha, int resolution) {
   // Final 1x1 feature conv: 1280, scaled up (but never down) by alpha.
   const int last_c = alpha > 1.0 ? make_divisible(1280 * alpha) : 1280;
   conv_bn_act(g, x, in_c, last_c, 1, 1, "features", block_id, "features", true);
-  return g;
+  return finish_trunk(std::move(g), "zoo/mobilenet_v2");
 }
 
 }  // namespace netcut::zoo

@@ -1,6 +1,8 @@
 // ResNet-50 (He et al., 2016), v1.5 variant (stride on the 3x3 conv).
 // 16 bottleneck residual blocks in stages of (3, 4, 6, 3); each bottleneck
 // is one removable block.
+#include <utility>
+
 #include "zoo/common.hpp"
 #include "zoo/zoo.hpp"
 
@@ -53,7 +55,7 @@ nn::Graph build_resnet50(int resolution) {
       ++block_id;
     }
   }
-  return g;
+  return finish_trunk(std::move(g), "zoo/resnet50");
 }
 
 }  // namespace netcut::zoo
