@@ -6,8 +6,13 @@
 //
 // Example:
 //   ./build/examples/netcut_cli --deadline 0.6 --estimator analytical
+//
+// Exit codes: 0 success, 1 no network meets the deadline, 2 bad arguments,
+// 3 filesystem failure (unreadable/unwritable caches), 4 runtime failure.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,6 +21,11 @@
 #include "util/table.hpp"
 
 namespace {
+
+constexpr int kExitNoFeasible = 1;
+constexpr int kExitBadArgs = 2;
+constexpr int kExitFilesystem = 3;
+constexpr int kExitRuntime = 4;
 
 void usage() {
   std::printf(
@@ -27,9 +37,7 @@ void usage() {
   std::printf("\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   using namespace netcut;
 
   double deadline = 0.9;
@@ -56,11 +64,11 @@ int main(int argc, char** argv) {
       if (!found) {
         std::printf("unknown network '%s'\n", want.c_str());
         usage();
-        return 1;
+        return kExitBadArgs;
       }
     } else {
       usage();
-      return arg == "--help" ? 0 : 1;
+      return arg == "--help" ? 0 : kExitBadArgs;
     }
   }
 
@@ -100,7 +108,7 @@ int main(int argc, char** argv) {
     analytical.fit(train);
   } else if (estimator_name != "profiler") {
     usage();
-    return 1;
+    return kExitBadArgs;
   }
   core::LatencyEstimator& est =
       estimator_name == "analytical" ? static_cast<core::LatencyEstimator&>(analytical)
@@ -115,7 +123,7 @@ int main(int argc, char** argv) {
 
   if (result.proposals.empty()) {
     std::printf("no network can meet %.3f ms on this device\n", deadline);
-    return 1;
+    return kExitNoFeasible;
   }
 
   util::Table table({"proposal", "est_ms", "measured_ms", "accuracy", "top1", "GPU-h"});
@@ -130,4 +138,24 @@ int main(int argc, char** argv) {
   std::printf("retrained %d networks, %.2f GPU-hours on the training-server model\n",
               result.networks_retrained, result.exploration_hours);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // One-line diagnostics with distinct exit codes instead of a raw abort —
+  // a fleet script wrapping this binary can tell operator error (2) from a
+  // full disk (3) from a genuine pipeline failure (4).
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "netcut_cli: invalid argument: %s\n", e.what());
+    return kExitBadArgs;
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::fprintf(stderr, "netcut_cli: filesystem error: %s\n", e.what());
+    return kExitFilesystem;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "netcut_cli: error: %s\n", e.what());
+    return kExitRuntime;
+  }
 }

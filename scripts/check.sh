@@ -7,36 +7,43 @@
 #    compiles under -Wall -Wextra -Werror -Wshadow -Wold-style-cast
 # 2. run the full ctest suite (graph verifier included: NETCUT_VERIFY
 #    defaults to static mode, so every builder/cut/plan self-checks)
-# 3. AddressSanitizer (build-asan/): thread pool, memory planner and graph
+# 3. chaos run: the full suite again under a standard NETCUT_FAULTS
+#    schedule (spikes, drops, interference bursts) — the self-healing
+#    measurement path must keep every result inside its tolerances
+# 4. AddressSanitizer (build-asan/): thread pool, memory planner and graph
 #    verifier tests — the subsystems that juggle raw lifetimes
-# 4. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
+# 5. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
 #    -fno-sanitize-recover=all, so any UB aborts the run
-# 5. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
+# 6. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
 #    has no clang-tidy)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] configure + build (build/, -Werror)"
+echo "==> [1/6] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/5] ctest (full tier-1 suite)"
+echo "==> [2/6] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/5] ASan: thread pool + memory planner + verifier"
+echo "==> [3/6] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
+NETCUT_FAULTS="spike=0.02x2.5,drop=0.002,burst=0.01x6x1.5,seed=20260806" \
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==> [4/6] ASan: thread pool + memory planner + verifier"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$(nproc)" \
   --target test_util_threadpool test_nn_memplan test_nn_verify
 ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [4/5] UBSan: full tier-1 suite"
+echo "==> [5/6] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 
-echo "==> [5/5] clang-tidy"
+echo "==> [6/6] clang-tidy"
 ./scripts/tidy.sh
 
 echo "==> check passed"

@@ -1,6 +1,8 @@
 #include "app/control_loop.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "ml/metrics.hpp"
 
@@ -9,12 +11,23 @@ namespace netcut::app {
 ControlLoop::ControlLoop(const VisualClassifier& vision, const EmgClassifier& emg,
                          const data::EmgGenerator& emg_gen, double visual_latency_ms,
                          ControlLoopConfig config)
-    : vision_(vision),
+    : ControlLoop({{"", visual_latency_ms, &vision}}, emg, emg_gen, config) {}
+
+ControlLoop::ControlLoop(std::vector<TrnOption> options, const EmgClassifier& emg,
+                         const data::EmgGenerator& emg_gen, ControlLoopConfig config,
+                         WatchdogConfig watchdog, const hw::FaultModel* faults)
+    : options_(std::move(options)),
       emg_(emg),
       emg_gen_(emg_gen),
-      visual_latency_ms_(visual_latency_ms),
-      config_(config) {
-  if (visual_latency_ms <= 0) throw std::invalid_argument("ControlLoop: bad latency");
+      config_(config),
+      watchdog_(watchdog),
+      faults_(faults) {
+  if (options_.empty()) throw std::invalid_argument("ControlLoop: no TRN options");
+  for (const TrnOption& o : options_) {
+    if (o.latency_ms <= 0) throw std::invalid_argument("ControlLoop: bad latency");
+    if (o.vision == nullptr) throw std::invalid_argument("ControlLoop: null classifier");
+  }
+  if (watchdog_.window <= 0) throw std::invalid_argument("ControlLoop: bad watchdog window");
 }
 
 ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
@@ -25,6 +38,30 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
   int total_frames = 0, total_missed = 0;
   int correct = 0;
   double sim_sum = 0.0;
+
+  // Device degradation schedule. The stream has its own RNG, so the frame
+  // RNG below draws in exactly the legacy order whether or not faults are
+  // active — fault injection never perturbs which images an episode sees.
+  const hw::FaultModel& fault_model = faults_ ? *faults_ : hw::FaultModel::global();
+  hw::FaultStream fault_stream;
+  if (fault_model.active()) fault_stream = fault_model.stream("control-loop");
+
+  // Watchdog state; persists across episodes (the device does not cool down
+  // because a reach ended).
+  const bool adaptive = watchdog_.enabled && options_.size() > 1;
+  std::size_t cur = 0;
+  std::vector<char> window(static_cast<std::size_t>(watchdog_.window), 0);
+  int win_count = 0, win_pos = 0, win_miss = 0;
+  int frames_since_switch = watchdog_.cooldown_frames;  // first breach acts at once
+  int calm_streak = 0;
+  int global_frame = 0;
+  // Observed device slowdown: EWMA of (frame latency / nominal latency).
+  // Late frames still yield a timing; only outright failed runs do not.
+  double slowdown = 1.0;
+  constexpr double kSlowdownAlpha = 0.1;
+  // Miss rates bracketing the first fallback, for the degradation report.
+  bool fell_back = false;
+  int pre_frames = 0, pre_missed = 0, post_frames = 0, post_missed = 0;
 
   // Test images grouped by primary grasp so each episode can stream frames
   // of its intent object.
@@ -46,18 +83,75 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
           *pool[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
       ++total_frames;
 
-      // Per-frame latency jitter around the measured device latency.
-      const double latency = visual_latency_ms_ * rng.lognormal(0.0, 0.015);
-      if (latency > config_.classifier_deadline_ms) {
+      // Per-frame latency jitter around the measured device latency, scaled
+      // by whatever the fault schedule is doing to the device right now. A
+      // failed run means the frame produced no usable inference at all.
+      double latency = options_[cur].latency_ms * rng.lognormal(0.0, 0.015);
+      hw::RunFault fault;
+      if (fault_stream.active()) fault = fault_stream.next(global_frame);
+      latency *= fault.multiplier;
+      if (!fault.failed)
+        slowdown += kSlowdownAlpha * (latency / options_[cur].latency_ms - slowdown);
+      const bool missed = fault.failed || latency > config_.classifier_deadline_ms;
+      if (missed) {
         ++er.frames_missed;
         ++total_missed;
       } else {
-        acc.observe(vision_.predict(frame.image), config_.vision_weight);
+        acc.observe(options_[cur].vision->predict(frame.image), config_.vision_weight);
         ++er.frames_used;
+      }
+      if (fell_back) {
+        ++post_frames;
+        post_missed += missed ? 1 : 0;
+      } else {
+        ++pre_frames;
+        pre_missed += missed ? 1 : 0;
       }
 
       // EMG window for the same intent arrives every frame.
       acc.observe(emg_.predict(emg_gen_.sample(er.intent, rng)), config_.emg_weight);
+
+      if (adaptive) {
+        // Slide the window, then act on it once it is full.
+        win_miss += (missed ? 1 : 0) - window[static_cast<std::size_t>(win_pos)];
+        window[static_cast<std::size_t>(win_pos)] = missed ? 1 : 0;
+        win_pos = (win_pos + 1) % watchdog_.window;
+        win_count = std::min(win_count + 1, watchdog_.window);
+        ++frames_since_switch;
+        if (win_count == watchdog_.window) {
+          const double miss_rate =
+              static_cast<double>(win_miss) / static_cast<double>(watchdog_.window);
+          const bool cooled = frames_since_switch >= watchdog_.cooldown_frames;
+          if (miss_rate >= watchdog_.breach_miss_rate && cur + 1 < options_.size() && cooled) {
+            report.switches.push_back({ep, t, cur, cur + 1, miss_rate});
+            ++cur;
+            fell_back = true;
+            win_count = win_miss = win_pos = 0;
+            std::fill(window.begin(), window.end(), 0);
+            frames_since_switch = 0;
+            calm_streak = 0;
+          } else if (cur > 0) {
+            // Step back up only when the current window is calm AND the
+            // slower TRN is predicted to fit the deadline under the
+            // observed slowdown — otherwise a sustained throttle would
+            // cause an up/down flap on every patience period.
+            const bool calm =
+                miss_rate <= watchdog_.recover_miss_rate &&
+                options_[cur - 1].latency_ms * slowdown <=
+                    watchdog_.recover_headroom * config_.classifier_deadline_ms;
+            calm_streak = calm ? calm_streak + 1 : 0;
+            if (calm_streak >= watchdog_.recover_patience && cooled) {
+              report.switches.push_back({ep, t, cur, cur - 1, miss_rate});
+              --cur;
+              win_count = win_miss = win_pos = 0;
+              std::fill(window.begin(), window.end(), 0);
+              frames_since_switch = 0;
+              calm_streak = 0;
+            }
+          }
+        }
+      }
+      ++global_frame;
     }
 
     er.decision = acc.decision();
@@ -82,6 +176,12 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
   double frames = 0.0;
   for (const EpisodeResult& er : report.episodes) frames += er.frames_used;
   report.mean_frames_used = frames / n;
+  report.final_option = cur;
+  report.pre_fallback_miss_rate =
+      pre_frames > 0 ? static_cast<double>(pre_missed) / pre_frames : 0.0;
+  report.post_fallback_miss_rate =
+      post_frames > 0 ? static_cast<double>(post_missed) / post_frames
+                      : report.pre_fallback_miss_rate;
   return report;
 }
 

@@ -5,11 +5,23 @@
 // The visual classifier's per-frame compute budget is the paper's 0.9 ms —
 // frames whose (simulated) inference latency exceeds it miss the fusion
 // window and are dropped.
+//
+// The loop can carry a whole Pareto front of TRNs instead of a single
+// classifier: a deadline watchdog tracks the miss rate over a sliding
+// window of recent frames and, when the device degrades (thermal
+// throttling, interference — injected via hw::FaultModel), falls back to
+// the next-faster TRN; once the window stays calm long enough it steps
+// back toward the preferred network. Cooldown plus a recovery-patience
+// hysteresis keep it from flapping between neighbours.
 #pragma once
+
+#include <string>
+#include <vector>
 
 #include "app/classifier.hpp"
 #include "app/fusion.hpp"
 #include "core/lab.hpp"
+#include "hw/faults.hpp"
 #include "hw/measure.hpp"
 
 namespace netcut::app {
@@ -23,6 +35,39 @@ struct ControlLoopConfig {
   double vision_weight = 1.0;
   int episodes = 50;
   std::uint64_t seed = 2025;
+};
+
+/// One deployable TRN on the latency/accuracy Pareto front. Options are
+/// ordered from the preferred (most accurate, slowest) network to the
+/// fastest fallback; the watchdog only ever moves one step at a time.
+struct TrnOption {
+  std::string name;                          // paper-style "ResNet50/113"
+  double latency_ms = 0.0;                   // measured device latency
+  const VisualClassifier* vision = nullptr;
+};
+
+struct WatchdogConfig {
+  bool enabled = true;
+  int window = 16;                  // sliding window of recent frames
+  double breach_miss_rate = 0.50;   // fall back when window miss rate >= this
+  double recover_miss_rate = 0.10;  // calm threshold for stepping back up
+  int cooldown_frames = 32;         // min frames between consecutive switches
+  int recover_patience = 48;        // consecutive calm frames before recovery
+  /// Stepping back up additionally requires the slower TRN's predicted
+  /// latency — its nominal latency times the observed device slowdown — to
+  /// fit within this fraction of the deadline. This is what prevents
+  /// flapping: under a sustained throttle the window looks calm (the fast
+  /// fallback is fine) but the slower network still would not fit.
+  double recover_headroom = 0.98;
+};
+
+/// One watchdog decision, for reporting.
+struct SwitchEvent {
+  int episode = 0;
+  double time_ms = 0.0;             // reach time within the episode
+  std::size_t from = 0;
+  std::size_t to = 0;               // option indices
+  double window_miss_rate = 0.0;    // what triggered the move
 };
 
 struct EpisodeResult {
@@ -40,6 +85,11 @@ struct ControlLoopReport {
   double top1_accuracy = 0.0;
   double deadline_miss_rate = 0.0;   // fraction of frames dropped
   double mean_frames_used = 0.0;
+  // Watchdog telemetry (empty / zero when it never intervened).
+  std::vector<SwitchEvent> switches;
+  std::size_t final_option = 0;
+  double pre_fallback_miss_rate = 0.0;   // miss rate up to the first switch
+  double post_fallback_miss_rate = 0.0;  // miss rate after the first switch
 };
 
 class ControlLoop {
@@ -50,14 +100,23 @@ class ControlLoop {
               const data::EmgGenerator& emg_gen, double visual_latency_ms,
               ControlLoopConfig config);
 
+  /// Deadline-adaptive loop over a Pareto front of TRNs, preferred first.
+  /// `faults` injects device degradation (nullptr falls back to the
+  /// NETCUT_FAULTS global schedule); with no active schedule and a single
+  /// option the loop behaves bit-identically to the legacy constructor.
+  ControlLoop(std::vector<TrnOption> options, const EmgClassifier& emg,
+              const data::EmgGenerator& emg_gen, ControlLoopConfig config,
+              WatchdogConfig watchdog = {}, const hw::FaultModel* faults = nullptr);
+
   ControlLoopReport run(const data::HandsDataset& dataset);
 
  private:
-  const VisualClassifier& vision_;
+  std::vector<TrnOption> options_;
   const EmgClassifier& emg_;
   const data::EmgGenerator& emg_gen_;
-  double visual_latency_ms_;
   ControlLoopConfig config_;
+  WatchdogConfig watchdog_;
+  const hw::FaultModel* faults_ = nullptr;
 };
 
 }  // namespace netcut::app

@@ -1,6 +1,7 @@
 #include "core/estimator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "nn/conv.hpp"
@@ -36,14 +37,60 @@ double ProfilerEstimator::estimate_ms(zoo::NetId base, int cut_node) {
   const hw::LatencyTable& table = lab_.profile(base);
   const int trunk_last = lab_.trunk_last_node(base);
 
+  // Effective per-row latencies. A row whose fault-schedule confidence is
+  // too low carries garbage (or nothing): substitute the mean of its
+  // nearest trusted unfused trunk neighbors — the same ratio-formula spirit
+  // applied locally — rather than letting one bad row skew the whole sum.
+  struct TrunkRow {
+    int node;
+    double ms;
+    bool trusted;  // fused rows (exact 0) and confident rows
+    bool fused;
+  };
+  std::vector<TrunkRow> rows;
+  int repaired = 0;
+  int unfused_rows = 0;
+  for (const hw::ProfiledLayer& l : table.layers) {
+    if (l.node > trunk_last) continue;  // head row
+    const bool trusted = l.fused_away || l.confidence >= kMinRowConfidence;
+    rows.push_back({l.node, l.latency_ms, trusted, l.fused_away});
+    if (!l.fused_away) ++unfused_rows;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].trusted) continue;
+    double acc = 0.0;
+    int n = 0;
+    for (std::size_t j = i; j-- > 0;)  // nearest trusted unfused row before
+      if (rows[j].trusted && rows[j].ms > 0.0) {
+        acc += rows[j].ms;
+        ++n;
+        break;
+      }
+    for (std::size_t j = i + 1; j < rows.size(); ++j)  // ... and after
+      if (rows[j].trusted && rows[j].ms > 0.0) {
+        acc += rows[j].ms;
+        ++n;
+        break;
+      }
+    // No trusted neighbor anywhere: fall back to a uniform share of the
+    // end-to-end measurement over the unfused trunk rows.
+    rows[i].ms = n > 0 ? acc / n
+                       : table.end_to_end_ms / static_cast<double>(std::max(1, unfused_rows));
+    ++repaired;
+  }
+  if (repaired > 0 && warned_.insert(base).second)
+    std::fprintf(stderr,
+                 "[netcut] WARNING: profile of %s has %d low confidence row(s) under the "
+                 "active fault schedule; interpolating from trusted neighbors\n",
+                 table.network.c_str(), repaired);
+
   // Σ over trunk layers ("excluding classification layers"), and over the
   // layers the cut removes (trunk nodes after the cut site).
   double sum_all = 0.0;
   double sum_removed = 0.0;
-  for (const hw::ProfiledLayer& l : table.layers) {
-    if (l.node > trunk_last) continue;  // head row
-    sum_all += l.latency_ms;
-    if (l.node > cut_node) sum_removed += l.latency_ms;
+  for (const TrunkRow& r : rows) {
+    sum_all += r.ms;
+    if (r.node > cut_node) sum_removed += r.ms;
   }
   if (sum_all <= 0.0) throw std::logic_error("ProfilerEstimator: empty profile");
   return table.end_to_end_ms * (1.0 - sum_removed / sum_all);

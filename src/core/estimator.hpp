@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/lab.hpp"
@@ -52,11 +53,17 @@ class ProfilerEstimator final : public LatencyEstimator {
   /// unmodified network).
   explicit ProfilerEstimator(LatencyLab& lab);
 
+  /// Rows whose fault-schedule confidence falls below this are not trusted:
+  /// their latency is interpolated from neighboring trusted rows (with a
+  /// loud warning) before the ratio formula runs.
+  static constexpr double kMinRowConfidence = 0.5;
+
   double estimate_ms(zoo::NetId base, int cut_node) override;
   std::string name() const override { return "profiler"; }
 
  private:
   LatencyLab& lab_;
+  std::set<zoo::NetId> warned_;  // one repair warning per base network
 };
 
 /// One (features, measured latency) training row per TRN.

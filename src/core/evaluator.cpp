@@ -1,11 +1,15 @@
 #include "core/evaluator.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "core/pretrained_cache.hpp"
 #include <sstream>
 #include <stdexcept>
+
+#include "util/atomic_file.hpp"
 
 #include "ml/metrics.hpp"
 #include "ml/model_selection.hpp"
@@ -131,27 +135,99 @@ std::string TrnEvaluator::cache_key(zoo::NetId base, int cut_node) const {
          std::to_string(config_hash_);
 }
 
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t end = line.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_full_double(const std::string& s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0' && std::isfinite(out);
+}
+
+std::string cache_row(const std::string& key, const AccuracyResult& r) {
+  std::ostringstream os;
+  os.precision(17);  // lossless double round trip
+  os << key << ',' << r.angular_similarity << ',' << r.top1;
+  std::string row = os.str();
+  std::ostringstream ck;
+  ck << std::hex << util::fnv1a64(row);
+  return row + ',' + ck.str();
+}
+
+/// Accepts a legacy 3-field row (key,ang,top1) or a checksummed 4-field
+/// row; rejects torn lines, non-numeric fields, and checksum mismatches.
+bool parse_cache_row(const std::string& line, std::string& key, AccuracyResult& r) {
+  const auto fields = split_fields(line, ',');
+  if (fields.size() != 3 && fields.size() != 4) return false;
+  if (fields[0].empty()) return false;
+  if (!parse_full_double(fields[1], r.angular_similarity)) return false;
+  if (!parse_full_double(fields[2], r.top1)) return false;
+  if (fields.size() == 4) {
+    const std::string prefix = fields[0] + ',' + fields[1] + ',' + fields[2];
+    std::ostringstream ck;
+    ck << std::hex << util::fnv1a64(prefix);
+    if (ck.str() != fields[3]) return false;
+  }
+  key = fields[0];
+  return true;
+}
+
+}  // namespace
+
 void TrnEvaluator::load_cache() {
   cache_loaded_ = true;
+  cache_rows_skipped_ = 0;
   if (config_.cache_path.empty()) return;
   std::ifstream in(config_.cache_path);
   if (!in) return;
   std::string line;
   while (std::getline(in, line)) {
-    std::istringstream ls(line);
+    if (line.empty() || line[0] == '#') continue;  // header / comment lines
     std::string key;
     AccuracyResult r;
-    if (std::getline(ls, key, ',') && (ls >> r.angular_similarity) && ls.get() == ',' &&
-        (ls >> r.top1))
+    if (parse_cache_row(line, key, r))
       cache_[key] = r;
+    else
+      ++cache_rows_skipped_;
+  }
+  in.close();
+  if (cache_rows_skipped_ == 0) return;
+
+  // Heal: a crash mid-append (or bit rot) left torn/corrupt rows behind.
+  // Skip them loudly and atomically rewrite the surviving rows so the
+  // damage does not persist into the next run.
+  std::fprintf(stderr,
+               "[netcut] WARNING: accuracy cache %s: skipped %d malformed row(s), kept %zu; "
+               "healing file\n",
+               config_.cache_path.c_str(), cache_rows_skipped_, cache_.size());
+  std::ostringstream healed;
+  healed << "# netcut-accuracy-cache v2\n";
+  for (const auto& [key, r] : cache_) healed << cache_row(key, r) << '\n';
+  try {
+    util::atomic_write_text(config_.cache_path, healed.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[netcut] WARNING: could not heal accuracy cache: %s\n", e.what());
   }
 }
 
 void TrnEvaluator::append_cache(const std::string& key, const AccuracyResult& r) {
   if (config_.cache_path.empty()) return;
   std::ofstream out(config_.cache_path, std::ios::app);
-  out.precision(17);  // lossless double round trip
-  out << key << ',' << r.angular_similarity << ',' << r.top1 << '\n';
+  out << cache_row(key, r) << '\n';
 }
 
 AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {

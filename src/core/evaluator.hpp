@@ -74,6 +74,16 @@ class TrnEvaluator {
   const EvalConfig& config() const { return config_; }
   const data::HandsDataset& dataset() const { return dataset_; }
 
+  /// Stable hash of (EvalConfig, dataset config): the memo-key component
+  /// that invalidates cached accuracies across config changes. Exposed so
+  /// resumable exploration journals can key on the same identity.
+  std::uint64_t config_hash() const { return config_hash_; }
+
+  /// Malformed/truncated rows skipped by the last cache load (a crash
+  /// mid-append leaves a torn last line; corrupted rows are dropped with a
+  /// warning and the cache file is healed in place).
+  int cache_rows_skipped() const { return cache_rows_skipped_; }
+
   /// Direct head training on explicit feature vectors (exposed for tests
   /// and the EMG classifier, which shares the training loop).
   AccuracyResult train_head_on_features(const std::vector<tensor::Tensor>& train_x,
@@ -103,6 +113,7 @@ class TrnEvaluator {
   std::map<zoo::NetId, std::vector<int>> structure_;  // cutpoints w/o features
   std::map<std::string, AccuracyResult> cache_;
   bool cache_loaded_ = false;
+  int cache_rows_skipped_ = 0;
   std::mutex states_mutex_;  // guards states_ (held across materialization)
   std::mutex cache_mutex_;   // guards cache_, cache_loaded_, the memo file
 };

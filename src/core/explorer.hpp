@@ -4,6 +4,9 @@
 // training-server model (the paper's "148 networks, 183 hours").
 #pragma once
 
+#include <map>
+#include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -45,6 +48,19 @@ class BlockwiseExplorer {
   /// Total retraining bill of a candidate set.
   static double total_train_hours(const std::vector<Candidate>& candidates);
 
+  /// Enables the crash-safe progress journal at `path`. Completed head
+  /// retrainings are appended as checksummed rows keyed on the full lab +
+  /// evaluator configuration; a later explorer pointed at the same file
+  /// skips those retrainings and resumes from where the previous run died.
+  /// A journal written under a different configuration (or corrupted past
+  /// its header) is quarantined and exploration starts fresh. The cheap
+  /// analytical lab measurements are always re-run in their original order
+  /// so measurement RNG streams stay identical to an uninterrupted sweep.
+  void set_journal(const std::string& path);
+
+  /// Retrainings skipped thanks to journal rows (diagnostics for tests).
+  int journal_hits() const { return journal_hits_; }
+
  private:
   /// Candidate with all LatencyLab-derived fields filled, accuracy pending.
   Candidate lab_stub(zoo::NetId base, int cut_node, int blocks_removed);
@@ -54,8 +70,18 @@ class BlockwiseExplorer {
   std::vector<Candidate> evaluate_cuts(zoo::NetId base,
                                        const std::vector<std::pair<int, int>>& cuts);
 
+  /// Configuration identity stamped into the journal header.
+  std::uint64_t journal_key() const;
+  void journal_append(const std::string& base_name, int cut_node, const AccuracyResult& r);
+
   LatencyLab& lab_;
   TrnEvaluator& evaluator_;
+
+  std::string journal_path_;
+  // Completed (base_name, cut_node) -> accuracy, loaded from the journal.
+  std::map<std::pair<std::string, int>, AccuracyResult> journal_;
+  int journal_hits_ = 0;
+  std::mutex journal_mutex_;  // guards journal_hits_ and file appends
 };
 
 }  // namespace netcut::core

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "nn/serialize.hpp"
+#include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 
 namespace netcut::core {
@@ -22,22 +23,70 @@ namespace {
 /// size), and 24x24 keeps the one-time training bill small. BatchNorm
 /// statistics are re-calibrated by the consumer at its own resolution.
 constexpr int kPretrainResolution = 24;
-}  // namespace
 
-namespace {
+/// Checked container around the raw nn::save_params payload.
+constexpr std::uint32_t kContainerMagic = 0x3243574Eu;  // "NCW2"
+constexpr std::uint32_t kContainerVersion = 1;
+/// The raw legacy stream's leading magic ("NCWM"), for format sniffing.
+constexpr std::uint32_t kLegacyMagic = 0x4E43574Du;
+
 std::string cache_file(zoo::NetId net, const data::PretrainedConfig& config,
-                       const std::string& cache_dir, int pretrain_resolution) {
+                       const std::string& cache_dir) {
   std::ostringstream name;
-  name << zoo::net_name(net) << "_p" << pretrain_resolution << "_" << std::hex
+  name << zoo::net_name(net) << "_p" << kPretrainResolution << "_" << std::hex
        << pretrained_config_hash(config) << ".weights";
   return (std::filesystem::path(cache_dir) / name.str()).string();
 }
+
+/// Atomic, checksummed weight-cache write.
+void save_weights_checked(const nn::Graph& graph, const std::string& path) {
+  std::ostringstream payload(std::ios::binary);
+  nn::save_params(graph, payload, path);
+  util::atomic_write_checked(path, payload.str(), kContainerMagic, kContainerVersion);
+}
+
+enum class CacheLoad { kMissing, kLoaded, kQuarantined };
+
+/// Loads a cached weight file into `graph`, sniffing the checked container
+/// vs the legacy raw format. Any validation failure — bad checksum,
+/// truncation, structural mismatch, non-finite params — quarantines the
+/// file and reports kQuarantined so the caller retrains.
+CacheLoad load_weights_checked(nn::Graph& graph, const std::string& path) {
+  const auto magic = util::peek_magic(path);
+  if (!magic) return CacheLoad::kMissing;
+  try {
+    if (*magic == kContainerMagic) {
+      const auto payload = util::read_checked(path, kContainerMagic, kContainerVersion);
+      if (!payload) return CacheLoad::kMissing;  // raced away; treat as missing
+      std::istringstream in(*payload, std::ios::binary);
+      nn::load_params(graph, in, path);
+      return CacheLoad::kLoaded;
+    }
+    // Legacy headerless file (written before the checked container
+    // existed): no checksum, but the structural validation still applies.
+    if (nn::load_params(graph, path)) return CacheLoad::kLoaded;
+    return CacheLoad::kMissing;
+  } catch (const std::exception& e) {
+    const std::string moved = util::quarantine_file(path);
+    std::fprintf(stderr,
+                 "[netcut] WARNING: corrupt weight cache %s (%s); quarantined as %s, "
+                 "retraining\n",
+                 path.c_str(), e.what(), moved.c_str());
+    return CacheLoad::kQuarantined;
+  }
+}
 }  // namespace
+
+std::string pretrained_cache_file(zoo::NetId net, const data::PretrainedConfig& config,
+                                  const std::string& cache_dir) {
+  if (cache_dir.empty()) return {};
+  return cache_file(net, config, cache_dir);
+}
 
 bool pretrained_available(zoo::NetId net, const data::PretrainedConfig& config,
                           const std::string& cache_dir) {
   if (cache_dir.empty()) return false;
-  return std::filesystem::exists(cache_file(net, config, cache_dir, 24));
+  return std::filesystem::exists(cache_file(net, config, cache_dir));
 }
 
 nn::Graph pretrained_trunk(zoo::NetId net, int resolution,
@@ -50,11 +99,9 @@ nn::Graph pretrained_trunk(zoo::NetId net, int resolution,
   std::string path;
   if (!cache_dir.empty()) {
     std::filesystem::create_directories(cache_dir);
-    std::ostringstream name;
-    name << zoo::net_name(net) << "_p" << kPretrainResolution << "_" << std::hex
-         << pretrained_config_hash(config) << ".weights";
-    path = (std::filesystem::path(cache_dir) / name.str()).string();
-    if (nn::load_params(trunk, path)) return trunk;
+    path = cache_file(net, config, cache_dir);
+    if (load_weights_checked(trunk, path) == CacheLoad::kLoaded) return trunk;
+    // Missing or quarantined: fall through and retrain.
   }
 
   nn::Graph train_trunk = resolution == kPretrainResolution
@@ -67,16 +114,15 @@ nn::Graph pretrained_trunk(zoo::NetId net, int resolution,
                report.final_loss, report.steps,
                path.empty() ? "" : (" -> cached " + path).c_str());
   if (!path.empty()) {
-    nn::save_params(train_trunk, path);
-    if (!nn::load_params(trunk, path))
+    save_weights_checked(train_trunk, path);
+    if (load_weights_checked(trunk, path) != CacheLoad::kLoaded)
       throw std::runtime_error("pretrained_trunk: failed to reload cached weights");
   } else if (resolution != kPretrainResolution) {
-    // No cache directory: copy the trained state across via a temp file.
-    const std::string tmp = std::filesystem::temp_directory_path() /
-                            ("netcut_tmp_" + std::to_string(pretrained_config_hash(cfg)));
-    nn::save_params(train_trunk, tmp);
-    nn::load_params(trunk, tmp);
-    std::filesystem::remove(tmp);
+    // No cache directory: copy the trained state across in memory.
+    std::ostringstream payload(std::ios::binary);
+    nn::save_params(train_trunk, payload, "pretrained_trunk (in-memory)");
+    std::istringstream in(payload.str(), std::ios::binary);
+    nn::load_params(trunk, in, "pretrained_trunk (in-memory)");
   } else {
     trunk = std::move(train_trunk);
   }

@@ -18,10 +18,22 @@ std::uint64_t pretrained_config_hash(const data::PretrainedConfig& config);
 bool pretrained_available(zoo::NetId net, const data::PretrainedConfig& config,
                           const std::string& cache_dir);
 
+/// Path of the weight-cache file for this (network, config) under
+/// `cache_dir` (empty when caching is disabled). Exposed so chaos tests
+/// can corrupt the exact file the cache will read back.
+std::string pretrained_cache_file(zoo::NetId net, const data::PretrainedConfig& config,
+                                  const std::string& cache_dir);
+
 /// Builds the trunk at `resolution` with pretrained weights: loaded from
 /// `cache_dir` when a matching file exists, otherwise trained via
 /// data::generate_pretrained_weights and saved. An empty cache_dir disables
 /// caching (always trains).
+///
+/// Writes are atomic (tmp + rename) and wrapped in a checksummed container;
+/// a cached file that is truncated, bit-flipped, or structurally wrong is
+/// quarantined (renamed aside with a warning) and the trunk is retrained —
+/// a crash mid-write can never poison later runs. Legacy headerless weight
+/// files are still read.
 nn::Graph pretrained_trunk(zoo::NetId net, int resolution,
                            const data::PretrainedConfig& config,
                            const std::string& cache_dir);

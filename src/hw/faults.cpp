@@ -1,0 +1,160 @@
+#include "hw/faults.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace netcut::hw {
+
+namespace {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+double parse_num(const std::string& s, const std::string& clause) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || !std::isfinite(v))
+    throw std::invalid_argument("NETCUT_FAULTS: bad number '" + s + "' in clause '" + clause +
+                                "'");
+  return v;
+}
+
+double parse_prob(const std::string& s, const std::string& clause) {
+  const double p = parse_num(s, clause);
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("NETCUT_FAULTS: probability out of [0,1] in clause '" +
+                                clause + "'");
+  return p;
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(std::string_view spec) {
+  FaultConfig cfg;
+  if (spec.empty()) return cfg;
+
+  for (const std::string& clause : split(spec, ',')) {
+    if (clause.empty()) continue;
+    if (clause == "off") return FaultConfig{};
+
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("NETCUT_FAULTS: clause '" + clause +
+                                  "' is not key=value (or 'off')");
+    const std::string key = clause.substr(0, eq);
+    const std::string val = clause.substr(eq + 1);
+
+    if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_num(val, clause));
+    } else if (key == "throttle") {
+      // K@S~D
+      const std::size_t at = val.find('@');
+      const std::size_t tilde = val.find('~');
+      if (at == std::string::npos || tilde == std::string::npos || tilde < at)
+        throw std::invalid_argument("NETCUT_FAULTS: throttle wants K@S~D, got '" + clause +
+                                    "'");
+      cfg.throttle_mult = parse_num(val.substr(0, at), clause);
+      cfg.throttle_start = static_cast<int>(parse_num(val.substr(at + 1, tilde - at - 1), clause));
+      cfg.throttle_decay = parse_num(val.substr(tilde + 1), clause);
+      if (cfg.throttle_mult < 1.0 || cfg.throttle_start < 0 || cfg.throttle_decay <= 0.0)
+        throw std::invalid_argument("NETCUT_FAULTS: throttle wants K>=1, S>=0, D>0 in '" +
+                                    clause + "'");
+      cfg.enabled = true;
+    } else if (key == "spike") {
+      // PxM
+      const std::size_t x = val.find('x');
+      if (x == std::string::npos)
+        throw std::invalid_argument("NETCUT_FAULTS: spike wants PxM, got '" + clause + "'");
+      cfg.spike_prob = parse_prob(val.substr(0, x), clause);
+      cfg.spike_mult = parse_num(val.substr(x + 1), clause);
+      if (cfg.spike_mult < 1.0)
+        throw std::invalid_argument("NETCUT_FAULTS: spike multiplier must be >= 1 in '" +
+                                    clause + "'");
+      cfg.enabled = true;
+    } else if (key == "burst") {
+      // PxLxM
+      const auto parts = split(val, 'x');
+      if (parts.size() != 3)
+        throw std::invalid_argument("NETCUT_FAULTS: burst wants PxLxM, got '" + clause + "'");
+      cfg.burst_prob = parse_prob(parts[0], clause);
+      cfg.burst_len = static_cast<int>(parse_num(parts[1], clause));
+      cfg.burst_mult = parse_num(parts[2], clause);
+      if (cfg.burst_len < 1 || cfg.burst_mult < 1.0)
+        throw std::invalid_argument("NETCUT_FAULTS: burst wants L>=1, M>=1 in '" + clause +
+                                    "'");
+      cfg.enabled = true;
+    } else if (key == "drop") {
+      cfg.drop_prob = parse_prob(val, clause);
+      cfg.enabled = true;
+    } else {
+      throw std::invalid_argument("NETCUT_FAULTS: unknown clause '" + clause + "'");
+    }
+  }
+  return cfg;
+}
+
+FaultStream::FaultStream(const FaultConfig& config, std::uint64_t stream_seed)
+    : config_(config), rng_(stream_seed) {}
+
+RunFault FaultStream::next(int run_index) {
+  RunFault f;
+  if (!config_.enabled) return f;
+
+  // Fixed draw order so the stream is identical however outcomes are used.
+  const bool dropped = rng_.chance(config_.drop_prob);
+  const bool spiked = rng_.chance(config_.spike_prob);
+  const bool burst_starts = rng_.chance(config_.burst_prob);
+
+  if (dropped) {
+    f.failed = true;
+    return f;
+  }
+  if (config_.throttle_mult > 1.0 && run_index >= config_.throttle_start) {
+    const double age = static_cast<double>(run_index - config_.throttle_start);
+    f.multiplier *= 1.0 + (config_.throttle_mult - 1.0) * std::exp(-age / config_.throttle_decay);
+  }
+  if (spiked) f.multiplier *= config_.spike_mult;
+  if (burst_left_ > 0) {
+    f.multiplier *= config_.burst_mult;
+    --burst_left_;
+  } else if (burst_starts) {
+    f.multiplier *= config_.burst_mult;
+    burst_left_ = config_.burst_len - 1;
+  }
+  return f;
+}
+
+const FaultModel& FaultModel::global() {
+  static const FaultModel model = [] {
+    const char* e = std::getenv("NETCUT_FAULTS");
+    if (e == nullptr || *e == '\0') return FaultModel();
+    return FaultModel(parse_fault_spec(e));
+  }();
+  return model;
+}
+
+const FaultModel& FaultModel::disabled() {
+  static const FaultModel model;
+  return model;
+}
+
+FaultStream FaultModel::stream(std::string_view label) const {
+  if (!config_.enabled) return FaultStream();
+  return FaultStream(config_, util::derive_seed(config_.seed, label));
+}
+
+}  // namespace netcut::hw

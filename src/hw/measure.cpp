@@ -1,6 +1,7 @@
 #include "hw/measure.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/stats.hpp"
 
@@ -19,21 +20,88 @@ double LatencyMeasurer::simulate_run_ms(double true_ms, int run_index, util::Rng
 Measurement LatencyMeasurer::measure_network(const nn::Graph& graph, Precision precision,
                                              bool fuse) {
   const double true_ms = device_.network_latency_ms(graph, precision, fuse);
-  util::Rng rng(util::derive_seed(config_.seed, "measure/" +
-                                                    std::to_string(measurement_counter_++)));
-  for (int i = 0; i < config_.warmup_runs; ++i) simulate_run_ms(true_ms, i, rng);
+  const std::string label = "measure/" + std::to_string(measurement_counter_++);
+  util::Rng rng(util::derive_seed(config_.seed, label));
+  const FaultModel& model = config_.faults != nullptr ? *config_.faults : FaultModel::global();
+
+  Measurement m;
+  if (!model.active()) {
+    // Fault-free: the exact legacy protocol, bit-identical to before the
+    // fault layer existed.
+    for (int i = 0; i < config_.warmup_runs; ++i) simulate_run_ms(true_ms, i, rng);
+
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(config_.timed_runs));
+    for (int i = 0; i < config_.timed_runs; ++i)
+      samples.push_back(simulate_run_ms(true_ms, config_.warmup_runs + i, rng));
+
+    m.mean_ms = util::mean(samples);
+    m.stdev_ms = util::stdev(samples);
+    m.min_ms = util::min_of(samples);
+    m.max_ms = util::max_of(samples);
+    m.median_ms = util::median(samples);
+    m.runs = config_.timed_runs;
+    return m;
+  }
+
+  // Fault schedule active: run the self-healing protocol. One fault stream
+  // per measurement, derived from the same stable label as the noise RNG.
+  FaultStream faults = model.stream(label);
+  for (int i = 0; i < config_.warmup_runs; ++i) {
+    faults.next(i);
+    simulate_run_ms(true_ms, i, rng);
+  }
 
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(config_.timed_runs));
-  for (int i = 0; i < config_.timed_runs; ++i)
-    samples.push_back(simulate_run_ms(true_ms, config_.warmup_runs + i, rng));
+  for (int i = 0; i < config_.timed_runs; ++i) {
+    const int idx = config_.warmup_runs + i;
+    bool timed = false;
+    double value = 0.0;
+    // Bounded retry with backoff: each retry is a fresh device run at the
+    // same schedule position (it consumes its own fault draw), so a
+    // transient drop usually recovers within a couple of attempts.
+    for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+      if (attempt > 0) ++m.retries;
+      const RunFault f = faults.next(idx);
+      if (!f.failed) {
+        value = simulate_run_ms(true_ms, idx, rng) * f.multiplier;
+        timed = true;
+        break;
+      }
+    }
+    if (timed)
+      samples.push_back(value);
+    else
+      ++m.failed_runs;
+  }
+  if (samples.empty())
+    throw std::runtime_error(
+        "measure_network: every timed run failed under the active fault schedule");
 
-  Measurement m;
-  m.mean_ms = util::mean(samples);
-  m.stdev_ms = util::stdev(samples);
-  m.min_ms = util::min_of(samples);
-  m.max_ms = util::max_of(samples);
-  m.runs = config_.timed_runs;
+  // MAD-based outlier rejection: spikes and burst contamination sit many
+  // robust sigmas from the median and get trimmed; the aggregate is the
+  // trimmed mean.
+  const double med = util::median(samples);
+  const double robust_sigma = 1.4826 * util::mad(samples, med);
+  std::vector<double> kept;
+  kept.reserve(samples.size());
+  if (robust_sigma > 0.0) {
+    for (double s : samples)
+      if (std::abs(s - med) <= config_.mad_k * robust_sigma) kept.push_back(s);
+  } else {
+    kept = samples;  // degenerate spread: nothing to reject against
+  }
+  if (kept.empty()) kept.push_back(med);
+  m.outliers_rejected = static_cast<int>(samples.size() - kept.size());
+
+  m.mean_ms = util::mean(kept);
+  m.stdev_ms = util::stdev(kept);
+  m.min_ms = util::min_of(kept);
+  m.max_ms = util::max_of(kept);
+  m.median_ms = med;
+  m.runs = static_cast<int>(kept.size());
+  m.confidence = static_cast<double>(kept.size()) / static_cast<double>(config_.timed_runs);
   return m;
 }
 

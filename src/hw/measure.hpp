@@ -4,9 +4,17 @@
 // noise on top of the DeviceModel's true latency, so measured numbers have
 // the statistical texture of real device timings while staying
 // deterministic for a given seed.
+//
+// Under an active hw::FaultModel the protocol self-heals: failed runs are
+// retried with bounded backoff, surviving samples pass MAD-based outlier
+// rejection, and the reported mean is the trimmed aggregate with an
+// attached confidence — so throttle spikes and dropped runs degrade the
+// confidence instead of silently poisoning the latency estimate. With no
+// active faults the legacy code path runs and outputs are bit-identical.
 #pragma once
 
 #include "hw/device.hpp"
+#include "hw/faults.hpp"
 #include "util/rng.hpp"
 
 namespace netcut::hw {
@@ -18,14 +26,25 @@ struct MeasureConfig {
   double cold_penalty = 0.6;       // initial clock-ramp latency multiplier
   double warmup_decay_runs = 60.0; // e-folding of the cold penalty
   std::uint64_t seed = 1234;
+  // Self-healing knobs (only consulted when a fault schedule is active).
+  int max_retries = 3;             // extra attempts per failed timed run
+  double mad_k = 3.5;              // reject samples beyond k robust sigmas
+  /// Fault schedule override; nullptr falls back to FaultModel::global()
+  /// (the NETCUT_FAULTS environment schedule).
+  const FaultModel* faults = nullptr;
 };
 
 struct Measurement {
-  double mean_ms = 0.0;
+  double mean_ms = 0.0;   // trimmed mean when a fault schedule is active
   double stdev_ms = 0.0;
   double min_ms = 0.0;
   double max_ms = 0.0;
-  int runs = 0;
+  double median_ms = 0.0;
+  int runs = 0;           // samples that survived retry + rejection
+  int failed_runs = 0;    // timed runs lost even after retries
+  int retries = 0;        // retry attempts spent on failed runs
+  int outliers_rejected = 0;
+  double confidence = 1.0;  // surviving-sample fraction of timed_runs
 };
 
 class LatencyMeasurer {

@@ -1,5 +1,9 @@
 #include "hw/profiler.hpp"
 
+#include <cmath>
+
+#include "util/stats.hpp"
+
 namespace netcut::hw {
 
 double LatencyTable::layer_sum_ms() const {
@@ -18,8 +22,9 @@ LatencyTable LayerProfiler::profile(const nn::Graph& graph, const std::string& n
   table.network = name;
   table.end_to_end_ms = measurer_.measure_network(graph, precision, fuse).mean_ms;
 
-  util::Rng rng(
-      util::derive_seed(config_.seed, "profiler/" + std::to_string(table_counter_++)));
+  const std::string table_label = "profiler/" + std::to_string(table_counter_++);
+  util::Rng rng(util::derive_seed(config_.seed, table_label));
+  const FaultModel& model = config_.faults != nullptr ? *config_.faults : FaultModel::global();
 
   for (const KernelCost& kc : device_.kernel_costs(graph, precision, fuse)) {
     ProfiledLayer pl;
@@ -27,13 +32,51 @@ LatencyTable LayerProfiler::profile(const nn::Graph& graph, const std::string& n
     pl.name = kc.name;
     pl.fused_away = kc.fused_away;
     if (!kc.fused_away) {
-      double sum = 0.0;
-      for (int r = 0; r < config_.profile_runs; ++r) {
-        const double timed = (kc.latency_ms + config_.event_overhead_us * 1e-3) *
-                             rng.lognormal(0.0, config_.noise_sigma);
-        sum += timed;
+      const double event_ms = kc.latency_ms + config_.event_overhead_us * 1e-3;
+      if (!model.active()) {
+        // Fault-free: the exact legacy per-layer loop, bit-identical.
+        double sum = 0.0;
+        for (int r = 0; r < config_.profile_runs; ++r)
+          sum += event_ms * rng.lognormal(0.0, config_.noise_sigma);
+        pl.latency_ms = sum / config_.profile_runs;
+      } else {
+        // Per-layer fault stream: event timings fail and spike just like
+        // end-to-end runs; surviving samples are MAD-trimmed and the row
+        // carries its surviving-run fraction as confidence.
+        FaultStream faults =
+            model.stream(table_label + "/node" + std::to_string(kc.node));
+        std::vector<double> samples;
+        samples.reserve(static_cast<std::size_t>(config_.profile_runs));
+        for (int r = 0; r < config_.profile_runs; ++r) {
+          for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+            const RunFault f = faults.next(r);
+            if (!f.failed) {
+              samples.push_back(event_ms * rng.lognormal(0.0, config_.noise_sigma) *
+                                f.multiplier);
+              break;
+            }
+          }
+        }
+        if (samples.empty()) {
+          pl.latency_ms = 0.0;  // no usable timing: flagged by confidence 0
+          pl.confidence = 0.0;
+        } else {
+          const double med = util::median(samples);
+          const double robust_sigma = 1.4826 * util::mad(samples, med);
+          std::vector<double> kept;
+          kept.reserve(samples.size());
+          if (robust_sigma > 0.0) {
+            for (double s : samples)
+              if (std::abs(s - med) <= config_.mad_k * robust_sigma) kept.push_back(s);
+          } else {
+            kept = samples;
+          }
+          if (kept.empty()) kept.push_back(med);
+          pl.latency_ms = util::mean(kept);
+          pl.confidence =
+              static_cast<double>(kept.size()) / static_cast<double>(config_.profile_runs);
+        }
       }
-      pl.latency_ms = sum / config_.profile_runs;
     }
     table.layers.push_back(std::move(pl));
   }

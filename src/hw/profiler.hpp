@@ -22,6 +22,10 @@ struct ProfiledLayer {
   std::string name;
   double latency_ms = 0.0;   // per-layer event timing (includes overhead)
   bool fused_away = false;   // absorbed kernels appear with 0 latency
+  /// Fraction of profile runs that survived fault retry + MAD rejection;
+  /// 1.0 when no fault schedule is active. Estimators treat low-confidence
+  /// rows as unreliable and interpolate around them.
+  double confidence = 1.0;
 };
 
 struct LatencyTable {
@@ -38,6 +42,11 @@ struct ProfilerConfig {
   double noise_sigma = 0.02;       // per-layer timing noise
   int profile_runs = 50;           // per-layer timings averaged over runs
   std::uint64_t seed = 4321;
+  // Self-healing knobs (only consulted when a fault schedule is active).
+  int max_retries = 3;             // extra attempts per failed profile run
+  double mad_k = 3.5;              // reject samples beyond k robust sigmas
+  /// Fault schedule override; nullptr falls back to FaultModel::global().
+  const FaultModel* faults = nullptr;
 };
 
 class LayerProfiler {

@@ -12,9 +12,7 @@ namespace {
 constexpr std::uint32_t kMagic = 0x4E43574Du;  // "NCWM"
 }  // namespace
 
-void save_params(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+void save_params(const Graph& graph, std::ostream& out, const std::string& context) {
   auto put_u32 = [&](std::uint32_t v) { out.write(reinterpret_cast<const char*>(&v), 4); };
   put_u32(kMagic);
   put_u32(static_cast<std::uint32_t>(graph.node_count()));
@@ -29,21 +27,25 @@ void save_params(const Graph& graph, const std::string& path) {
                 static_cast<std::streamsize>(sizeof(float)) * t->numel());
     }
   }
-  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+  if (!out) throw std::runtime_error("save_params: write failed for " + context);
 }
 
-bool load_params(Graph& graph, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+void save_params(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  save_params(graph, out, path);
+}
+
+void load_params(Graph& graph, std::istream& in, const std::string& context) {
   auto get_u32 = [&]() {
     std::uint32_t v = 0;
     in.read(reinterpret_cast<char*>(&v), 4);
-    if (!in) throw std::runtime_error("load_params: truncated file " + path);
+    if (!in) throw std::runtime_error("load_params: truncated file " + context);
     return v;
   };
-  if (get_u32() != kMagic) throw std::runtime_error("load_params: bad magic in " + path);
+  if (get_u32() != kMagic) throw std::runtime_error("load_params: bad magic in " + context);
   if (get_u32() != static_cast<std::uint32_t>(graph.node_count()))
-    throw std::runtime_error("load_params: node count mismatch in " + path);
+    throw std::runtime_error("load_params: node count mismatch in " + context);
   for (int id = 1; id < graph.node_count(); ++id) {
     Layer& layer = *graph.node(id).layer;
     if (get_u32() != static_cast<std::uint32_t>(layer.kind()))
@@ -59,13 +61,19 @@ bool load_params(Graph& graph, const std::string& path) {
                                  std::to_string(id));
       in.read(reinterpret_cast<char*>(t->data()),
               static_cast<std::streamsize>(sizeof(float)) * t->numel());
-      if (!in) throw std::runtime_error("load_params: truncated tensor data in " + path);
+      if (!in) throw std::runtime_error("load_params: truncated tensor data in " + context);
     }
   }
   // A weight file that parses can still carry corrupt contents; lint the
   // deserialized graph and scan every loaded tensor for non-finite values.
   check_graph(graph, "load_params");
   check_params(graph, "load_params");
+}
+
+bool load_params(Graph& graph, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  load_params(graph, in, path);
   return true;
 }
 

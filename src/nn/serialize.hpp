@@ -8,6 +8,7 @@
 // identical architecture.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/graph.hpp"
@@ -17,9 +18,17 @@ namespace netcut::nn {
 /// Writes all persistent tensors of the graph. Throws on I/O failure.
 void save_params(const Graph& graph, const std::string& path);
 
+/// Stream form, for callers that wrap the payload in their own container
+/// (e.g. the checksummed atomic weight cache).
+void save_params(const Graph& graph, std::ostream& out, const std::string& context);
+
 /// Reads persistent tensors into the graph. Returns false (leaving the
 /// graph untouched where possible) when the file is missing; throws on
 /// structural mismatch or corruption.
 bool load_params(Graph& graph, const std::string& path);
+
+/// Stream form; `context` names the source in error messages. Throws on
+/// structural mismatch or corruption.
+void load_params(Graph& graph, std::istream& in, const std::string& context);
 
 }  // namespace netcut::nn

@@ -45,6 +45,14 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double mad(const std::vector<double>& xs, double center) {
+  require_nonempty(xs, "mad");
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::abs(x - center));
+  return median(std::move(dev));
+}
+
 double min_of(const std::vector<double>& xs) {
   require_nonempty(xs, "min_of");
   return *std::min_element(xs.begin(), xs.end());

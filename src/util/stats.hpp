@@ -10,6 +10,9 @@ double mean(const std::vector<double>& xs);
 double stdev(const std::vector<double>& xs);   // sample stdev (n-1)
 double median(std::vector<double> xs);         // by value: sorts a copy
 double percentile(std::vector<double> xs, double p);  // p in [0, 100]
+/// Median absolute deviation about `center` (robust scale; multiply by
+/// 1.4826 for a normal-consistent sigma).
+double mad(const std::vector<double>& xs, double center);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 

@@ -87,6 +87,7 @@ TEST(Measure, ProtocolAveragesAfterWarmup) {
   DeviceModel dev;
   MeasureConfig mc;
   mc.noise_sigma = 0.02;
+  mc.faults = &FaultModel::disabled();  // exact protocol counts need a clean device
   LatencyMeasurer meas(dev, mc);
   const Graph g = conv_bn_relu_chain(2);
   const Measurement m = meas.measure_network(g, Precision::kInt8, true);
