@@ -1,0 +1,157 @@
+// Serving-layer snapshot (BENCH_serve.json): batched vs single-request
+// service under the deterministic open-loop load simulation shared with
+// tests/test_serve.cpp (tests/serve_sim.hpp).
+//
+//   ./build/bench/serve_snapshot [--json BENCH_serve.json]
+//
+// Every number is a pure function of (config, seed): the harness runs each
+// configuration twice with the same seed and refuses to write the snapshot
+// (exit 1) unless the two runs are bit-identical. The headline claims the
+// snapshot exists to pin down:
+//   * batch cap 8 sustains >= 3x the single-request throughput under an
+//     offered load ~5x the single-request service rate, and
+//   * its deadline-miss rate and p99 response do not exceed the
+//     single-request baseline's.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve_sim.hpp"
+#include "zoo/zoo.hpp"
+
+namespace {
+
+using namespace netcut;
+
+struct ServeRun {
+  std::string label;
+  int max_batch = 1;
+  serve_sim::SimReport report;
+  bool reproducible = false;
+};
+
+std::function<double(int)> batch_curve(std::shared_ptr<const nn::Graph> graph) {
+  auto device = std::make_shared<hw::DeviceModel>();
+  auto cache = std::make_shared<std::map<int, double>>();
+  return [graph = std::move(graph), device, cache](int b) {
+    if (auto it = cache->find(b); it != cache->end()) return it->second;
+    const double v = device->network_latency_ms(*graph, hw::Precision::kInt8, true, b);
+    return cache->emplace(b, v).first->second;
+  };
+}
+
+ServeRun run_config(const std::shared_ptr<const nn::Graph>& graph,
+                    const serve_sim::LoadConfig& load, const std::string& label,
+                    int max_batch) {
+  auto once = [&] {
+    serve::RequestQueue queue;
+    serve::ServeConfig sc;
+    sc.max_batch = max_batch;
+    sc.nominal_deadline_ms = load.deadline_slack_ms;
+    serve::BatchServer server({{"trn", nullptr, batch_curve(graph)}}, queue, sc);
+    return serve_sim::run_open_loop(server, queue, serve_sim::generate_arrivals(load, {}));
+  };
+  ServeRun r;
+  r.label = label;
+  r.max_batch = max_batch;
+  r.report = once();
+  r.reproducible = serve_sim::reports_identical(r.report, once());
+  return r;
+}
+
+void print_run(const ServeRun& r) {
+  std::printf("%-16s batch<=%d: %8.1f req/s, p50 %7.3f ms, p99 %8.3f ms, "
+              "miss %5.1f%%, mean batch %.2f, reproducible=%s\n",
+              r.label.c_str(), r.max_batch, r.report.throughput_rps,
+              r.report.p50_response_ms, r.report.p99_response_ms,
+              100.0 * r.report.miss_rate, r.report.mean_batch,
+              r.reproducible ? "yes" : "NO");
+}
+
+void emit_json(std::ostream& out, const ServeRun& r, bool last) {
+  out << "    {\"label\": \"" << r.label << "\", \"max_batch\": " << r.max_batch
+      << ", \"throughput_rps\": " << r.report.throughput_rps
+      << ", \"p50_response_ms\": " << r.report.p50_response_ms
+      << ", \"p99_response_ms\": " << r.report.p99_response_ms
+      << ", \"miss_rate\": " << r.report.miss_rate
+      << ", \"mean_batch\": " << r.report.mean_batch
+      << ", \"batches\": " << r.report.batches
+      << ", \"reproducible\": " << (r.reproducible ? "true" : "false") << "}"
+      << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = argv[i] + 7;
+  }
+
+  const auto graph = std::make_shared<const nn::Graph>(
+      zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32));
+  const auto curve = batch_curve(graph);
+  std::printf("device batch curve (ms): b1 %.4f  b2 %.4f  b4 %.4f  b8 %.4f\n", curve(1),
+              curve(2), curve(4), curve(8));
+
+  serve_sim::LoadConfig load;
+  load.requests = 2000;
+  load.mean_interarrival_ms = curve(1) / 5.0;  // ~5x single-request capacity
+  load.deadline_slack_ms = 6.0 * curve(1);
+
+  std::vector<ServeRun> runs;
+  runs.push_back(run_config(graph, load, "single", 1));
+  runs.push_back(run_config(graph, load, "batched", 8));
+  for (const ServeRun& r : runs) print_run(r);
+
+  const ServeRun& single = runs[0];
+  const ServeRun& batched = runs[1];
+  const double ratio = single.report.throughput_rps > 0
+                           ? batched.report.throughput_rps / single.report.throughput_rps
+                           : 0.0;
+  std::printf("\nthroughput ratio (batched / single): %.2fx\n", ratio);
+
+  bool ok = true;
+  for (const ServeRun& r : runs)
+    if (!r.reproducible) {
+      std::fprintf(stderr, "serve_snapshot: '%s' not bit-identical across same-seed runs\n",
+                   r.label.c_str());
+      ok = false;
+    }
+  if (ratio < 3.0) {
+    std::fprintf(stderr, "serve_snapshot: throughput ratio %.2fx below the 3x bar\n", ratio);
+    ok = false;
+  }
+  if (batched.report.miss_rate > single.report.miss_rate) {
+    std::fprintf(stderr, "serve_snapshot: batched miss rate exceeds the single baseline\n");
+    ok = false;
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "serve_snapshot: cannot open " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"load\": {\"requests\": " << load.requests
+      << ", \"mean_interarrival_ms\": " << load.mean_interarrival_ms
+      << ", \"deadline_slack_ms\": " << load.deadline_slack_ms
+      << ", \"seed\": " << load.seed << "},\n";
+  out << "  \"throughput_ratio\": " << ratio << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) emit_json(out, runs[i], i + 1 == runs.size());
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -2,7 +2,7 @@
 // the deadline-meeting TRN per network and the final selection.
 //
 //   netcut_cli [--deadline MS] [--estimator profiler|analytical]
-//              [--net NAME ...] [--fast]
+//              [--net NAME ...] [--fast] [--cache-dir DIR]
 //
 // Example:
 //   ./build/examples/netcut_cli --deadline 0.6 --estimator analytical
@@ -30,7 +30,7 @@ constexpr int kExitRuntime = 4;
 void usage() {
   std::printf(
       "usage: netcut_cli [--deadline MS] [--estimator profiler|analytical]\n"
-      "                  [--net NAME ...] [--fast]\n"
+      "                  [--net NAME ...] [--fast] [--cache-dir DIR]\n"
       "nets: ");
   for (auto id : netcut::zoo::all_nets())
     std::printf("%s ", netcut::zoo::net_name(id).c_str());
@@ -44,6 +44,7 @@ int run_cli(int argc, char** argv) {
   std::string estimator_name = "profiler";
   std::vector<zoo::NetId> nets;
   bool fast = false;
+  std::string cache_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +54,8 @@ int run_cli(int argc, char** argv) {
       estimator_name = argv[++i];
     } else if (arg == "--fast") {
       fast = true;
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else if (arg == "--net" && i + 1 < argc) {
       const std::string want = argv[++i];
       bool found = false;
@@ -72,6 +75,16 @@ int run_cli(int argc, char** argv) {
     }
   }
 
+  // Redirect both experiment caches under --cache-dir, creating it eagerly
+  // so an unusable location fails fast (exit 3) before any expensive work.
+  std::string accuracy_cache = "netcut_accuracy_cache.csv";
+  std::string weight_cache = "netcut_weights";
+  if (!cache_dir.empty()) {
+    std::filesystem::create_directories(cache_dir);
+    accuracy_cache = (std::filesystem::path(cache_dir) / accuracy_cache).string();
+    weight_cache = (std::filesystem::path(cache_dir) / weight_cache).string();
+  }
+
   core::LatencyLab lab;
   data::HandsConfig data_cfg;
   data_cfg.resolution = 24;
@@ -82,6 +95,8 @@ int run_cli(int argc, char** argv) {
   core::EvalConfig eval_cfg;
   eval_cfg.resolution = 24;
   eval_cfg.epochs = fast ? 8 : 16;
+  eval_cfg.cache_path = accuracy_cache;
+  eval_cfg.weight_cache_dir = weight_cache;
   if (fast) {
     eval_cfg.pretrained.source_images = 100;
     eval_cfg.pretrained.epochs = 8;

@@ -10,40 +10,70 @@
 # 3. chaos run: the full suite again under a standard NETCUT_FAULTS
 #    schedule (spikes, drops, interference bursts) — the self-healing
 #    measurement path must keep every result inside its tolerances
-# 4. AddressSanitizer (build-asan/): thread pool, memory planner and graph
+# 4. serving layer (ctest -L serve): the batched-serving suite on its own,
+#    clean and again under the chaos schedule, then a --label-summary line
+#    with per-label pass counts
+# 5. AddressSanitizer (build-asan/): thread pool, memory planner and graph
 #    verifier tests — the subsystems that juggle raw lifetimes
-# 5. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
+# 6. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
 #    -fno-sanitize-recover=all, so any UB aborts the run
-# 6. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
+# 7. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
 #    has no clang-tidy)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/6] configure + build (build/, -Werror)"
+NETCUT_CHAOS_SCHEDULE="spike=0.02x2.5,drop=0.002,burst=0.01x6x1.5,seed=20260806"
+
+# Per-label pass counts from dedicated `ctest -L <label>` runs (ctest has no
+# built-in pass-count-per-label report; the label suites are small).
+label_summary() {
+  echo "--label-summary (per-label pass counts, clean run):"
+  while read -r label; do
+    [ -z "$label" ] && continue
+    local line total failed
+    line=$(ctest --test-dir build -L "^${label}\$" -j "$(nproc)" 2>/dev/null \
+             | grep -E '^[0-9]+% tests passed' || true)
+    if [ -z "$line" ]; then
+      echo "    ${label}: no results"
+      continue
+    fi
+    total=$(echo "$line" | sed -E 's/.*out of ([0-9]+).*/\1/')
+    failed=$(echo "$line" | sed -E 's/.*, ([0-9]+) tests failed.*/\1/')
+    echo "    ${label}: $((total - failed))/${total} passed"
+  done < <(ctest --test-dir build --print-labels | sed -n 's/^  //p')
+}
+
+echo "==> [1/7] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/6] ctest (full tier-1 suite)"
+echo "==> [2/7] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/6] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
-NETCUT_FAULTS="spike=0.02x2.5,drop=0.002,burst=0.01x6x1.5,seed=20260806" \
+echo "==> [3/7] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
+NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [4/6] ASan: thread pool + memory planner + verifier"
+echo "==> [4/7] serving layer (ctest -L serve, clean + chaos)"
+ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
+NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
+  ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
+label_summary
+
+echo "==> [5/7] ASan: thread pool + memory planner + verifier"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$(nproc)" \
   --target test_util_threadpool test_nn_memplan test_nn_verify
 ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [5/6] UBSan: full tier-1 suite"
+echo "==> [6/7] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 
-echo "==> [6/6] clang-tidy"
+echo "==> [7/7] clang-tidy"
 ./scripts/tidy.sh
 
 echo "==> check passed"

@@ -46,14 +46,10 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
   hw::FaultStream fault_stream;
   if (fault_model.active()) fault_stream = fault_model.stream("control-loop");
 
-  // Watchdog state; persists across episodes (the device does not cool down
-  // because a reach ended).
-  const bool adaptive = watchdog_.enabled && options_.size() > 1;
-  std::size_t cur = 0;
-  std::vector<char> window(static_cast<std::size_t>(watchdog_.window), 0);
-  int win_count = 0, win_pos = 0, win_miss = 0;
-  int frames_since_switch = watchdog_.cooldown_frames;  // first breach acts at once
-  int calm_streak = 0;
+  // Watchdog policy; persists across episodes (the device does not cool
+  // down because a reach ended).
+  MissRateWatchdog watchdog(watchdog_, options_.size());
+  const bool adaptive = watchdog.adaptive();
   int global_frame = 0;
   // Observed device slowdown: EWMA of (frame latency / nominal latency).
   // Late frames still yield a timing; only outright failed runs do not.
@@ -86,6 +82,7 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
       // Per-frame latency jitter around the measured device latency, scaled
       // by whatever the fault schedule is doing to the device right now. A
       // failed run means the frame produced no usable inference at all.
+      const std::size_t cur = watchdog.current();
       double latency = options_[cur].latency_ms * rng.lognormal(0.0, 0.015);
       hw::RunFault fault;
       if (fault_stream.active()) fault = fault_stream.next(global_frame);
@@ -112,43 +109,18 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
       acc.observe(emg_.predict(emg_gen_.sample(er.intent, rng)), config_.emg_weight);
 
       if (adaptive) {
-        // Slide the window, then act on it once it is full.
-        win_miss += (missed ? 1 : 0) - window[static_cast<std::size_t>(win_pos)];
-        window[static_cast<std::size_t>(win_pos)] = missed ? 1 : 0;
-        win_pos = (win_pos + 1) % watchdog_.window;
-        win_count = std::min(win_count + 1, watchdog_.window);
-        ++frames_since_switch;
-        if (win_count == watchdog_.window) {
-          const double miss_rate =
-              static_cast<double>(win_miss) / static_cast<double>(watchdog_.window);
-          const bool cooled = frames_since_switch >= watchdog_.cooldown_frames;
-          if (miss_rate >= watchdog_.breach_miss_rate && cur + 1 < options_.size() && cooled) {
-            report.switches.push_back({ep, t, cur, cur + 1, miss_rate});
-            ++cur;
-            fell_back = true;
-            win_count = win_miss = win_pos = 0;
-            std::fill(window.begin(), window.end(), 0);
-            frames_since_switch = 0;
-            calm_streak = 0;
-          } else if (cur > 0) {
-            // Step back up only when the current window is calm AND the
-            // slower TRN is predicted to fit the deadline under the
-            // observed slowdown — otherwise a sustained throttle would
-            // cause an up/down flap on every patience period.
-            const bool calm =
-                miss_rate <= watchdog_.recover_miss_rate &&
-                options_[cur - 1].latency_ms * slowdown <=
-                    watchdog_.recover_headroom * config_.classifier_deadline_ms;
-            calm_streak = calm ? calm_streak + 1 : 0;
-            if (calm_streak >= watchdog_.recover_patience && cooled) {
-              report.switches.push_back({ep, t, cur, cur - 1, miss_rate});
-              --cur;
-              win_count = win_miss = win_pos = 0;
-              std::fill(window.begin(), window.end(), 0);
-              frames_since_switch = 0;
-              calm_streak = 0;
-            }
-          }
+        // The watchdog owns the window/hysteresis policy; the loop supplies
+        // the one fact only it knows — whether the next-slower TRN is
+        // predicted to fit the deadline under the observed slowdown.
+        const bool slower_fits =
+            cur > 0 && options_[cur - 1].latency_ms * slowdown <=
+                           watchdog_.recover_headroom * config_.classifier_deadline_ms;
+        const MissRateWatchdog::Decision dec = watchdog.observe(missed, slower_fits);
+        if (dec.action == MissRateWatchdog::Action::kFallBack) {
+          report.switches.push_back({ep, t, cur, cur + 1, dec.window_miss_rate});
+          fell_back = true;
+        } else if (dec.action == MissRateWatchdog::Action::kRecover) {
+          report.switches.push_back({ep, t, cur, cur - 1, dec.window_miss_rate});
         }
       }
       ++global_frame;
@@ -176,7 +148,7 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
   double frames = 0.0;
   for (const EpisodeResult& er : report.episodes) frames += er.frames_used;
   report.mean_frames_used = frames / n;
-  report.final_option = cur;
+  report.final_option = watchdog.current();
   report.pre_fallback_miss_rate =
       pre_frames > 0 ? static_cast<double>(pre_missed) / pre_frames : 0.0;
   report.post_fallback_miss_rate =

@@ -20,6 +20,7 @@
 
 #include "app/classifier.hpp"
 #include "app/fusion.hpp"
+#include "app/watchdog.hpp"
 #include "core/lab.hpp"
 #include "hw/faults.hpp"
 #include "hw/measure.hpp"
@@ -46,20 +47,7 @@ struct TrnOption {
   const VisualClassifier* vision = nullptr;
 };
 
-struct WatchdogConfig {
-  bool enabled = true;
-  int window = 16;                  // sliding window of recent frames
-  double breach_miss_rate = 0.50;   // fall back when window miss rate >= this
-  double recover_miss_rate = 0.10;  // calm threshold for stepping back up
-  int cooldown_frames = 32;         // min frames between consecutive switches
-  int recover_patience = 48;        // consecutive calm frames before recovery
-  /// Stepping back up additionally requires the slower TRN's predicted
-  /// latency — its nominal latency times the observed device slowdown — to
-  /// fit within this fraction of the deadline. This is what prevents
-  /// flapping: under a sustained throttle the window looks calm (the fast
-  /// fallback is fine) but the slower network still would not fit.
-  double recover_headroom = 0.98;
-};
+// WatchdogConfig (shared with the serving layer) lives in app/watchdog.hpp.
 
 /// One watchdog decision, for reporting.
 struct SwitchEvent {

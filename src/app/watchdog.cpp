@@ -1,0 +1,56 @@
+#include "app/watchdog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netcut::app {
+
+MissRateWatchdog::MissRateWatchdog(WatchdogConfig config, std::size_t option_count)
+    : config_(config),
+      option_count_(option_count),
+      window_(config.window > 0 ? static_cast<std::size_t>(config.window) : 0, 0),
+      frames_since_switch_(config.cooldown_frames) {
+  if (config_.window <= 0) throw std::invalid_argument("MissRateWatchdog: bad window");
+  if (option_count_ == 0) throw std::invalid_argument("MissRateWatchdog: no options");
+}
+
+void MissRateWatchdog::reset_window() {
+  win_count_ = win_miss_ = win_pos_ = 0;
+  std::fill(window_.begin(), window_.end(), 0);
+  frames_since_switch_ = 0;
+  calm_streak_ = 0;
+}
+
+MissRateWatchdog::Decision MissRateWatchdog::observe(bool missed, bool slower_fits) {
+  Decision d;
+  // Slide the window, then act on it once it is full.
+  win_miss_ += (missed ? 1 : 0) - window_[static_cast<std::size_t>(win_pos_)];
+  window_[static_cast<std::size_t>(win_pos_)] = missed ? 1 : 0;
+  win_pos_ = (win_pos_ + 1) % config_.window;
+  win_count_ = std::min(win_count_ + 1, config_.window);
+  ++frames_since_switch_;
+  if (win_count_ != config_.window) return d;
+
+  const double miss_rate = static_cast<double>(win_miss_) / static_cast<double>(config_.window);
+  d.window_miss_rate = miss_rate;
+  const bool cooled = frames_since_switch_ >= config_.cooldown_frames;
+  if (miss_rate >= config_.breach_miss_rate && current_ + 1 < option_count_ && cooled) {
+    ++current_;
+    reset_window();
+    d.action = Action::kFallBack;
+  } else if (current_ > 0) {
+    // Step back up only when the current window is calm AND the slower
+    // option is predicted to fit — otherwise a sustained throttle would
+    // cause an up/down flap on every patience period.
+    const bool calm = miss_rate <= config_.recover_miss_rate && slower_fits;
+    calm_streak_ = calm ? calm_streak_ + 1 : 0;
+    if (calm_streak_ >= config_.recover_patience && cooled) {
+      --current_;
+      reset_window();
+      d.action = Action::kRecover;
+    }
+  }
+  return d;
+}
+
+}  // namespace netcut::app

@@ -96,6 +96,15 @@ double ProfilerEstimator::estimate_ms(zoo::NetId base, int cut_node) {
   return table.end_to_end_ms * (1.0 - sum_removed / sum_all);
 }
 
+double ProfilerEstimator::estimate_batch_ms(zoo::NetId base, int cut_node, int batch) {
+  if (batch < 1) throw std::invalid_argument("estimate_batch_ms: batch must be >= 1");
+  const double single = estimate_ms(base, cut_node);
+  if (batch == 1) return single;
+  const double true_single = lab_.true_ms(base, cut_node);
+  if (true_single <= 0.0) return static_cast<double>(batch) * single;
+  return single * lab_.true_batch_ms(base, cut_node, batch) / true_single;
+}
+
 AnalyticalEstimator::AnalyticalEstimator(LatencyLab& lab, bool grid_search,
                                          ml::SvrConfig base_config)
     : lab_(lab), grid_search_(grid_search), base_config_(base_config),

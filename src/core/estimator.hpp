@@ -44,6 +44,16 @@ class LatencyEstimator {
  public:
   virtual ~LatencyEstimator() = default;
   virtual double estimate_ms(zoo::NetId base, int cut_node) = 0;
+
+  /// Estimated latency of one batched pass over `batch` images. The default
+  /// assumes perfectly linear scaling (batch x estimate_ms) — a conservative
+  /// upper bound, since a batched launch amortizes per-kernel overhead.
+  /// Estimators with access to the device's batch behavior override this;
+  /// batch == 1 always equals estimate_ms.
+  virtual double estimate_batch_ms(zoo::NetId base, int cut_node, int batch) {
+    return static_cast<double>(batch) * estimate_ms(base, cut_node);
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -59,6 +69,15 @@ class ProfilerEstimator final : public LatencyEstimator {
   static constexpr double kMinRowConfidence = 0.5;
 
   double estimate_ms(zoo::NetId base, int cut_node) override;
+
+  /// Batched estimate: rescale the single-image estimate by the device's
+  /// noise-free batch-scaling curve at this cut,
+  ///   estimate_batch_ms = estimate_ms * true_batch_ms(cut, batch) / true_ms(cut),
+  /// so the estimator keeps its profiled-measurement grounding while the
+  /// batch amortization (launch once, weights stream once) comes from the
+  /// device model. batch == 1 reduces to estimate_ms exactly.
+  double estimate_batch_ms(zoo::NetId base, int cut_node, int batch) override;
+
   std::string name() const override { return "profiler"; }
 
  private:

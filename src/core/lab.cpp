@@ -57,6 +57,30 @@ double LatencyLab::true_ms(zoo::NetId base, int cut_node) {
   return ms;
 }
 
+double LatencyLab::measured_batch_ms(zoo::NetId base, int cut_node, int batch) {
+  if (batch == 1) return measured_ms(base, cut_node);
+  NetState& st = state(base);
+  const auto key = std::make_pair(cut_node, batch);
+  if (auto it = st.measured_batch.find(key); it != st.measured_batch.end())
+    return it->second;
+  const nn::Graph trn = build_native_trn(base, cut_node);
+  const double ms =
+      measurer_.measure_network(trn, config_.precision, config_.fuse, batch).mean_ms;
+  st.measured_batch[key] = ms;
+  return ms;
+}
+
+double LatencyLab::true_batch_ms(zoo::NetId base, int cut_node, int batch) {
+  if (batch == 1) return true_ms(base, cut_node);
+  NetState& st = state(base);
+  const auto key = std::make_pair(cut_node, batch);
+  if (auto it = st.true_batch.find(key); it != st.true_batch.end()) return it->second;
+  const nn::Graph trn = build_native_trn(base, cut_node);
+  const double ms = device_.network_latency_ms(trn, config_.precision, config_.fuse, batch);
+  st.true_batch[key] = ms;
+  return ms;
+}
+
 const hw::LatencyTable& LatencyLab::profile(zoo::NetId base) {
   NetState& st = state(base);
   if (!st.table) {

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/trn.hpp"
@@ -51,6 +52,14 @@ class LatencyLab {
   /// Noise-free model latency (ground truth underlying measured_ms).
   double true_ms(zoo::NetId base, int cut_node);
 
+  /// Measured latency of one batched pass over `batch` images (one kernel
+  /// launch per node for the whole batch). batch == 1 equals measured_ms.
+  /// Memoized per (cut, batch).
+  double measured_batch_ms(zoo::NetId base, int cut_node, int batch);
+
+  /// Noise-free model latency of a batch-`batch` pass.
+  double true_batch_ms(zoo::NetId base, int cut_node, int batch);
+
   /// Per-layer profile of the *full* base network (one table per network is
   /// all the profiler-based estimator needs).
   const hw::LatencyTable& profile(zoo::NetId base);
@@ -80,6 +89,8 @@ class LatencyLab {
     std::vector<int> iterative;
     std::map<int, double> measured;
     std::map<int, double> true_latency;
+    std::map<std::pair<int, int>, double> measured_batch;  // (cut, batch)
+    std::map<std::pair<int, int>, double> true_batch;
     std::unique_ptr<hw::LatencyTable> table;
   };
   NetState& state(zoo::NetId base);

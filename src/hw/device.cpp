@@ -50,10 +50,11 @@ std::vector<bool> DeviceModel::fused_away(const nn::Graph& graph) {
 }
 
 double DeviceModel::node_latency_ms(const nn::Layer& layer, const nn::LayerCost& cost,
-                                    Precision precision) const {
+                                    Precision precision, int batch) const {
   const double elem_bytes = precision == Precision::kInt8 ? 1.0 : 4.0;
   const double peak =
       precision == Precision::kInt8 ? config_.peak_gflops_int8 : config_.peak_gflops_fp32;
+  const double b = static_cast<double>(batch);
 
   double eff = 0.0;
   switch (layer.kind()) {
@@ -73,14 +74,17 @@ double DeviceModel::node_latency_ms(const nn::Layer& layer, const nn::LayerCost&
 
   double compute_ms = 0.0;
   if (eff > 0.0) {
-    // Small output grids under-utilize the SMs.
-    const double spatial = std::max<double>(1.0, static_cast<double>(cost.output_elems));
+    // Small output grids under-utilize the SMs; a batched launch fills them
+    // with batch x output_elems work items.
+    const double spatial = std::max<double>(1.0, b * static_cast<double>(cost.output_elems));
     const double util = spatial / (spatial + config_.spatial_knee * 1024.0);
-    compute_ms = static_cast<double>(cost.flops) / (peak * 1e9 * eff * std::max(util, 0.05)) * 1e3;
+    compute_ms =
+        b * static_cast<double>(cost.flops) / (peak * 1e9 * eff * std::max(util, 0.05)) * 1e3;
   }
 
+  // Activations stream per image; weights stream once per batched launch.
   const double bytes =
-      (static_cast<double>(cost.input_elems) + static_cast<double>(cost.output_elems)) *
+      b * (static_cast<double>(cost.input_elems) + static_cast<double>(cost.output_elems)) *
           elem_bytes +
       static_cast<double>(cost.params) * elem_bytes;
   const double memory_ms = bytes / (config_.mem_bandwidth_gbps * 1e9) * 1e3;
@@ -89,7 +93,7 @@ double DeviceModel::node_latency_ms(const nn::Layer& layer, const nn::LayerCost&
 }
 
 std::vector<KernelCost> DeviceModel::kernel_costs(const nn::Graph& graph, Precision precision,
-                                                  bool fuse) const {
+                                                  bool fuse, int batch) const {
   const std::vector<tensor::Shape> shapes = graph.infer_shapes();
   const std::vector<bool> fused =
       fuse ? fused_away(graph) : std::vector<bool>(static_cast<std::size_t>(graph.node_count()),
@@ -105,16 +109,16 @@ std::vector<KernelCost> DeviceModel::kernel_costs(const nn::Graph& graph, Precis
     kc.name = nd.name;
     kc.fused_away = fused[static_cast<std::size_t>(id)];
     kc.latency_ms =
-        kc.fused_away ? 0.0 : node_latency_ms(*nd.layer, nd.layer->cost(in), precision);
+        kc.fused_away ? 0.0 : node_latency_ms(*nd.layer, nd.layer->cost(in), precision, batch);
     out.push_back(std::move(kc));
   }
   return out;
 }
 
 double DeviceModel::network_latency_ms(const nn::Graph& graph, Precision precision,
-                                       bool fuse) const {
+                                       bool fuse, int batch) const {
   double total = 0.0;
-  for (const KernelCost& kc : kernel_costs(graph, precision, fuse)) total += kc.latency_ms;
+  for (const KernelCost& kc : kernel_costs(graph, precision, fuse, batch)) total += kc.latency_ms;
   return total;
 }
 

@@ -13,6 +13,13 @@
 // Graph latency sums kernels after an optional fusion pass
 // (BatchNorm/ReLU folded into their producer, as TensorRT-style deployment
 // does; the paper enables layer fusion in its deployment optimizations).
+//
+// Batched execution (the serving layer) launches each kernel once for the
+// whole batch: launch overhead is paid once, weights stream from DRAM once,
+// activation traffic and FLOPs scale with the batch, and the utilization
+// knee sees batch x spatial output elements — which is why a batch of 8 is
+// far cheaper than 8 single-image passes. batch == 1 reproduces the
+// original expression bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -55,12 +62,14 @@ class DeviceModel {
 
   const DeviceConfig& config() const { return config_; }
 
-  /// True (noise-free) latency of every node. Fused-away nodes get 0.
+  /// True (noise-free) latency of every node for one batched kernel launch
+  /// over `batch` images. Fused-away nodes get 0.
   std::vector<KernelCost> kernel_costs(const nn::Graph& graph, Precision precision,
-                                       bool fuse) const;
+                                       bool fuse, int batch = 1) const;
 
-  /// True end-to-end latency in ms.
-  double network_latency_ms(const nn::Graph& graph, Precision precision, bool fuse) const;
+  /// True end-to-end latency of a batch-`batch` pass in ms.
+  double network_latency_ms(const nn::Graph& graph, Precision precision, bool fuse,
+                            int batch = 1) const;
 
   /// Which nodes are absorbed into their producer kernel under fusion
   /// (BatchNorm / ReLU / ReLU6 whose producer is a compute node and whose
@@ -69,7 +78,7 @@ class DeviceModel {
 
  private:
   double node_latency_ms(const nn::Layer& layer, const nn::LayerCost& cost,
-                         Precision precision) const;
+                         Precision precision, int batch) const;
 
   DeviceConfig config_;
 };

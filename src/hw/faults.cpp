@@ -1,6 +1,7 @@
 #include "hw/faults.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
@@ -41,6 +42,24 @@ double parse_prob(const std::string& s, const std::string& clause) {
   return p;
 }
 
+// Casting an out-of-range double to an integer type is undefined behaviour,
+// so integer-valued fields are range-checked before the cast.
+int parse_int(const std::string& s, const std::string& clause) {
+  const double v = parse_num(s, clause);
+  if (v != std::floor(v) || v < -2147483648.0 || v > 2147483647.0)
+    throw std::invalid_argument("NETCUT_FAULTS: '" + s +
+                                "' is not a representable integer in clause '" + clause + "'");
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_seed(const std::string& s, const std::string& clause) {
+  const double v = parse_num(s, clause);
+  if (v != std::floor(v) || v < 0.0 || v > 9007199254740992.0)  // 2^53: exact in a double
+    throw std::invalid_argument("NETCUT_FAULTS: seed out of [0, 2^53] in clause '" + clause +
+                                "'");
+  return static_cast<std::uint64_t>(v);
+}
+
 }  // namespace
 
 FaultConfig parse_fault_spec(std::string_view spec) {
@@ -59,7 +78,7 @@ FaultConfig parse_fault_spec(std::string_view spec) {
     const std::string val = clause.substr(eq + 1);
 
     if (key == "seed") {
-      cfg.seed = static_cast<std::uint64_t>(parse_num(val, clause));
+      cfg.seed = parse_seed(val, clause);
     } else if (key == "throttle") {
       // K@S~D
       const std::size_t at = val.find('@');
@@ -68,7 +87,7 @@ FaultConfig parse_fault_spec(std::string_view spec) {
         throw std::invalid_argument("NETCUT_FAULTS: throttle wants K@S~D, got '" + clause +
                                     "'");
       cfg.throttle_mult = parse_num(val.substr(0, at), clause);
-      cfg.throttle_start = static_cast<int>(parse_num(val.substr(at + 1, tilde - at - 1), clause));
+      cfg.throttle_start = parse_int(val.substr(at + 1, tilde - at - 1), clause);
       cfg.throttle_decay = parse_num(val.substr(tilde + 1), clause);
       if (cfg.throttle_mult < 1.0 || cfg.throttle_start < 0 || cfg.throttle_decay <= 0.0)
         throw std::invalid_argument("NETCUT_FAULTS: throttle wants K>=1, S>=0, D>0 in '" +
@@ -91,7 +110,7 @@ FaultConfig parse_fault_spec(std::string_view spec) {
       if (parts.size() != 3)
         throw std::invalid_argument("NETCUT_FAULTS: burst wants PxLxM, got '" + clause + "'");
       cfg.burst_prob = parse_prob(parts[0], clause);
-      cfg.burst_len = static_cast<int>(parse_num(parts[1], clause));
+      cfg.burst_len = parse_int(parts[1], clause);
       cfg.burst_mult = parse_num(parts[2], clause);
       if (cfg.burst_len < 1 || cfg.burst_mult < 1.0)
         throw std::invalid_argument("NETCUT_FAULTS: burst wants L>=1, M>=1 in '" + clause +
@@ -105,6 +124,26 @@ FaultConfig parse_fault_spec(std::string_view spec) {
     }
   }
   return cfg;
+}
+
+std::string format_fault_spec(const FaultConfig& config) {
+  if (!config.enabled) {
+    // A lone seed clause parses to a disabled config but is still state:
+    // preserve it so the round-trip is lossless.
+    if (config.seed != FaultConfig{}.seed) return "seed=" + std::to_string(config.seed);
+    return "off";
+  }
+  // %.17g is round-trip exact for doubles, and none of the formatted
+  // numbers can contain the grammar's separators (',', '=', '@', '~', 'x').
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "throttle=%.17g@%d~%.17g,spike=%.17gx%.17g,burst=%.17gx%dx%.17g,"
+                "drop=%.17g,seed=%llu",
+                config.throttle_mult, config.throttle_start, config.throttle_decay,
+                config.spike_prob, config.spike_mult, config.burst_prob, config.burst_len,
+                config.burst_mult, config.drop_prob,
+                static_cast<unsigned long long>(config.seed));
+  return buf;
 }
 
 FaultStream::FaultStream(const FaultConfig& config, std::uint64_t stream_seed)

@@ -50,11 +50,20 @@ struct FaultConfig {
   // drop=P
   double drop_prob = 0.0;
   std::uint64_t seed = 0xFA017uLL;
+
+  bool operator==(const FaultConfig&) const = default;
 };
 
 /// Parses the NETCUT_FAULTS grammar above. Empty or "off" yields a
 /// disabled config; malformed clauses throw std::invalid_argument.
 FaultConfig parse_fault_spec(std::string_view spec);
+
+/// The inverse of parse_fault_spec: a canonical spec string such that
+/// parse_fault_spec(format_fault_spec(c)) == c for every config c that
+/// parse_fault_spec can produce (doubles are printed round-trip exact). A
+/// disabled config formats as "off"; an enabled one spells out every clause
+/// so no field is left to defaulting.
+std::string format_fault_spec(const FaultConfig& config);
 
 /// What the schedule does to one timing run.
 struct RunFault {

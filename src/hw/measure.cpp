@@ -18,8 +18,8 @@ double LatencyMeasurer::simulate_run_ms(double true_ms, int run_index, util::Rng
 }
 
 Measurement LatencyMeasurer::measure_network(const nn::Graph& graph, Precision precision,
-                                             bool fuse) {
-  const double true_ms = device_.network_latency_ms(graph, precision, fuse);
+                                             bool fuse, int batch) {
+  const double true_ms = device_.network_latency_ms(graph, precision, fuse, batch);
   const std::string label = "measure/" + std::to_string(measurement_counter_++);
   util::Rng rng(util::derive_seed(config_.seed, label));
   const FaultModel& model = config_.faults != nullptr ? *config_.faults : FaultModel::global();

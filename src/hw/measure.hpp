@@ -52,7 +52,10 @@ class LatencyMeasurer {
   LatencyMeasurer(const DeviceModel& device, MeasureConfig config = {});
 
   /// Full protocol: 200 warm-up + 800 timed runs of the whole network.
-  Measurement measure_network(const nn::Graph& graph, Precision precision, bool fuse);
+  /// `batch` > 1 times a batched pass (one launch per kernel for the whole
+  /// batch); batch == 1 is the original single-image protocol, bit-identical.
+  Measurement measure_network(const nn::Graph& graph, Precision precision, bool fuse,
+                              int batch = 1);
 
   /// One simulated run at the given global run index (0 = cold start).
   double simulate_run_ms(double true_ms, int run_index, util::Rng& rng) const;

@@ -58,12 +58,15 @@ std::size_t high_water(const std::vector<Placed>& placed) {
 }  // namespace
 
 MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
-                       const std::vector<int>& collect, bool train)
-    : shapes_(shapes), collect_(collect), train_(train) {
+                       const std::vector<int>& collect, bool train, int batch)
+    : shapes_(shapes), collect_(collect), train_(train), batch_(batch) {
   const int n = graph.node_count();
   if (static_cast<int>(shapes.size()) != n)
     throw std::invalid_argument("MemoryPlan: shape count does not match graph");
   if (n < 1) throw std::invalid_argument("MemoryPlan: empty graph");
+  if (batch < 1) throw std::invalid_argument("MemoryPlan: batch must be >= 1");
+  if (batch > 1 && train)
+    throw std::invalid_argument("MemoryPlan: batched plans are inference-only");
 
   // Live intervals: definition to last consumer. The output node, collected
   // nodes, and (train) every node are pinned to the end of the pass —
@@ -111,7 +114,10 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
     slot.floats = floats;
     slot.offset = place(placed, align_up(floats), id, id);
   }
-  arena_floats_ = high_water(placed);
+  // The one-lane high-water mark is already kAlignFloats-aligned (every slot
+  // starts and ends on an aligned boundary), so using it directly as the
+  // lane stride keeps every lane's views cache-line aligned.
+  lane_stride_ = high_water(placed);
 
   // Every plan the greedy assignment emits is proven non-aliasing by the
   // verifier's independent interval re-derivation before it can be used
@@ -119,8 +125,10 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
   check_plan(graph, *this, "MemoryPlan");
 }
 
-bool MemoryPlan::matches(int node_count, const std::vector<int>& collect, bool train) const {
-  return node_count == this->node_count() && train == train_ && collect == collect_;
+bool MemoryPlan::matches(int node_count, const std::vector<int>& collect, bool train,
+                         int batch) const {
+  return node_count == this->node_count() && train == train_ && batch == batch_ &&
+         collect == collect_;
 }
 
 }  // namespace netcut::nn

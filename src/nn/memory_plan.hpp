@@ -10,9 +10,15 @@
 // then binds Tensor views at those offsets instead of heap-allocating a
 // fresh tensor per node per pass.
 //
-// The plan is a pure function of (graph structure, shapes, collect, train):
-// it is computed once per Network and reused across every forward of the
-// same configuration.
+// The plan is a pure function of (graph structure, shapes, collect, train,
+// batch): it is computed once per Network and reused across every forward of
+// the same configuration.
+//
+// Batched passes replicate the single-image layout: lane 0's slot offsets
+// are computed exactly as for batch == 1, and lane b executes at offset
+// `b * lane_stride()`. Lanes are disjoint by construction (the stride is the
+// aligned high-water mark of one lane), so the per-lane alias proof carries
+// over to every lane and lanes may execute concurrently.
 #pragma once
 
 #include <cstddef>
@@ -32,14 +38,17 @@ class MemoryPlan {
  public:
   MemoryPlan() = default;
   MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
-             const std::vector<int>& collect, bool train);
+             const std::vector<int>& collect, bool train, int batch = 1);
 
   /// True if this plan fits a pass over the same graph with the same
-  /// collect set and train flag.
-  bool matches(int node_count, const std::vector<int>& collect, bool train) const;
+  /// collect set, train flag, and batch size. A batch-N plan never serves a
+  /// batch-M pass (M != N): the arena capacity and lane layout differ.
+  bool matches(int node_count, const std::vector<int>& collect, bool train,
+               int batch = 1) const;
 
-  /// Arena capacity the plan needs (activations + scratch), in floats.
-  std::size_t arena_floats() const { return arena_floats_; }
+  /// Arena capacity the plan needs (activations + scratch, all lanes), in
+  /// floats: lane_stride() * batch().
+  std::size_t arena_floats() const { return lane_stride_ * static_cast<std::size_t>(batch_); }
   /// Per-pass allocation footprint of the unplanned path: the sum of every
   /// activation's size (each naive forward heap-allocates all of them).
   std::size_t naive_activation_floats() const { return naive_activation_floats_; }
@@ -47,8 +56,14 @@ class MemoryPlan {
   /// the planned peak activation memory reported by benchmarks.
   std::size_t planned_activation_floats() const { return planned_activation_floats_; }
 
+  /// Number of images a planned pass executes.
+  int batch() const { return batch_; }
+  /// Float offset between consecutive lanes (aligned one-lane high-water
+  /// mark). Lane b's slots live at slot.offset + b * lane_stride().
+  std::size_t lane_stride() const { return lane_stride_; }
+
   /// Activation slot of node `id` (1 <= id < node_count; node 0 views the
-  /// caller's input tensor and owns no slot).
+  /// caller's input tensor and owns no slot). Offsets are lane-0 relative.
   const PlanSlot& activation(int id) const { return activations_[static_cast<std::size_t>(id)]; }
   /// Forward-scratch slot of node `id`; floats == 0 when the layer asked
   /// for no workspace.
@@ -72,7 +87,8 @@ class MemoryPlan {
   std::vector<int> last_use_;
   std::vector<int> collect_;
   bool train_ = false;
-  std::size_t arena_floats_ = 0;
+  int batch_ = 1;
+  std::size_t lane_stride_ = 0;
   std::size_t naive_activation_floats_ = 0;
   std::size_t planned_activation_floats_ = 0;
 };

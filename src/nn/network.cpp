@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "nn/verify.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netcut::nn {
 
@@ -47,17 +48,20 @@ Tensor Network::forward(const Tensor& input, bool train) {
   return forward_collect(input, {}, train)[0];
 }
 
-const MemoryPlan& Network::plan_for(const std::vector<int>& collect, bool train) {
+const MemoryPlan& Network::plan_for(const std::vector<int>& collect, bool train, int batch) {
   const int n = graph_.node_count();
   for (std::size_t i = 0; i < plans_.size(); ++i) {
-    if (plans_[i].matches(n, collect, train)) {
+    // The batch size is part of the cache key: a batch-M pass on a batch-N
+    // plan would bind lanes past the planned arena (or waste N-M lanes).
+    if (plans_[i].matches(n, collect, train, batch)) {
       if (i != 0) std::rotate(plans_.begin(), plans_.begin() + static_cast<std::ptrdiff_t>(i),
                               plans_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
       return plans_.front();
     }
   }
-  plans_.insert(plans_.begin(), MemoryPlan(graph_, graph_.infer_shapes(), collect, train));
-  constexpr std::size_t kMaxCachedPlans = 4;  // {collect?} x {train?} in practice
+  plans_.insert(plans_.begin(), MemoryPlan(graph_, graph_.infer_shapes(), collect, train, batch));
+  // {collect?} x {train?} plus a few live batch sizes in practice.
+  constexpr std::size_t kMaxCachedPlans = 6;
   if (plans_.size() > kMaxCachedPlans) plans_.pop_back();
   return plans_.front();
 }
@@ -122,6 +126,80 @@ std::vector<Tensor> Network::forward_collect_planned(const Tensor& input,
     }
   }
   return out;
+}
+
+std::vector<Tensor> Network::forward_batch(const std::vector<const Tensor*>& inputs) {
+  const int batch = static_cast<int>(inputs.size());
+  std::vector<Tensor> outputs(inputs.size());
+  if (batch == 0) return outputs;
+  for (const Tensor* in : inputs) {
+    if (in == nullptr) throw std::invalid_argument("Network::forward_batch: null input");
+    if (in->shape() != inputs[0]->shape())
+      throw std::invalid_argument("Network::forward_batch: inputs must share one shape");
+  }
+  if (!planning_) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) outputs[i] = forward(*inputs[i], false);
+    return outputs;
+  }
+
+  const int n = graph_.node_count();
+  const int out_node = graph_.output_node();
+  const MemoryPlan& plan = plan_for({}, /*train=*/false, batch);
+  arena_.reserve(plan.arena_floats());
+
+  const bool guard = runtime_verify_enabled();
+  std::vector<VerifyReport> lane_reports(guard ? inputs.size() : 0);
+  if (guard) arena_.poison(0, plan.arena_floats());
+
+  // Lanes bind views into disjoint arena regions and write disjoint output
+  // slots; every layer's inference forward_into is free of member writes
+  // once its scratch is planned, so lanes run concurrently. Kernels are
+  // deterministic at any thread count, making the pass bitwise identical to
+  // `batch` independent single-image forwards however the pool is sized.
+  util::parallel_for(0, batch, 1, [&](std::int64_t lb, std::int64_t le) {
+    for (std::int64_t lane = lb; lane < le; ++lane) {
+      const std::size_t base = static_cast<std::size_t>(lane) * plan.lane_stride();
+      const Tensor& input = *inputs[static_cast<std::size_t>(lane)];
+      std::vector<Tensor> acts(static_cast<std::size_t>(n));
+      acts[0] = Tensor::view(input.shape(), const_cast<float*>(input.data()));
+      for (int id = 1; id < n; ++id) {
+        Node& nd = graph_.node(id);
+        std::vector<const Tensor*> in;
+        in.reserve(nd.inputs.size());
+        for (int src : nd.inputs) {
+          const Tensor& t = acts[static_cast<std::size_t>(src)];
+          if (t.empty()) throw std::logic_error("Network::forward_batch: missing activation");
+          in.push_back(&t);
+        }
+        Tensor out =
+            Tensor::view(plan.shape(id), arena_.slot(base + plan.activation(id).offset));
+        float* scratch = plan.scratch(id).floats != 0
+                             ? arena_.slot(base + plan.scratch(id).offset)
+                             : nullptr;
+        nd.layer->forward_into(in, out, /*train=*/false, scratch);
+        if (guard) scan_activation(out, id, nd.name, lane_reports[static_cast<std::size_t>(lane)]);
+        acts[static_cast<std::size_t>(id)] = std::move(out);
+        if (id != n - 1)
+          for (int src : nd.inputs)
+            if (src != 0 && plan.last_use(src) == id)
+              acts[static_cast<std::size_t>(src)] = Tensor();
+      }
+      // Copying the view materializes an owning tensor independent of the
+      // arena (and of every other lane).
+      outputs[static_cast<std::size_t>(lane)] = acts[static_cast<std::size_t>(out_node)];
+    }
+  });
+  // Batched inference leaves no activations for a backward pass.
+  have_activations_ = false;
+  activations_.clear();
+
+  if (guard) {
+    VerifyReport merged;  // lane order keeps the report deterministic
+    for (const VerifyReport& r : lane_reports)
+      merged.findings.insert(merged.findings.end(), r.findings.begin(), r.findings.end());
+    enforce(merged, "Network::forward_batch (runtime numerics guard)");
+  }
+  return outputs;
 }
 
 std::vector<Tensor> Network::forward_collect(const Tensor& input,

@@ -52,6 +52,16 @@ class Network {
   std::vector<Tensor> forward_collect(const Tensor& input, const std::vector<int>& collect,
                                       bool train = false);
 
+  /// Inference-only batched forward: one output per input, in order. The
+  /// planned path lays the arena out as `inputs.size()` disjoint lanes
+  /// (planned once per batch size and cached) and runs lanes concurrently on
+  /// the pool; every kernel is deterministic at any thread count, so the
+  /// result is bitwise identical to `inputs.size()` independent single-image
+  /// forwards — the serving layer relies on exactly that equivalence. All
+  /// inputs must share one shape. With planning disabled this degrades to a
+  /// loop of naive single-image forwards.
+  std::vector<Tensor> forward_batch(const std::vector<const Tensor*>& inputs);
+
   /// Backpropagate from a gradient w.r.t. the output of the most recent
   /// train-mode forward. Parameter gradients accumulate in the layers.
   void backward(const Tensor& grad_output);
@@ -74,9 +84,10 @@ class Network {
   void set_memory_planning(bool on) { planning_ = on; }
   bool memory_planning() const { return planning_; }
 
-  /// The (cached) memory plan for a pass with this collect set / train flag.
-  /// Exposed so tests and benchmarks can inspect planned vs naive footprint.
-  const MemoryPlan& plan_for(const std::vector<int>& collect, bool train);
+  /// The (cached) memory plan for a pass with this collect set / train flag
+  /// / batch size. Exposed so tests and benchmarks can inspect planned vs
+  /// naive footprint (and that distinct batch sizes never share a plan).
+  const MemoryPlan& plan_for(const std::vector<int>& collect, bool train, int batch = 1);
 
  private:
   std::vector<Tensor> forward_collect_planned(const Tensor& input,

@@ -1,0 +1,32 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace netcut::serve {
+
+BatchFormer::BatchFormer(BatcherConfig config, std::function<double(int)> batch_latency_ms)
+    : config_(config), batch_latency_ms_(std::move(batch_latency_ms)) {
+  if (config_.max_batch < 1) throw std::invalid_argument("BatchFormer: max_batch must be >= 1");
+  if (!batch_latency_ms_) throw std::invalid_argument("BatchFormer: null latency estimate");
+}
+
+std::size_t BatchFormer::choose(double now_ms,
+                                const std::vector<Request>& edf_pending) const {
+  if (edf_pending.empty()) return 0;
+  const std::size_t cap =
+      std::min(edf_pending.size(), static_cast<std::size_t>(config_.max_batch));
+  // EDF order makes the earliest deadline of any prefix the head's deadline.
+  const double earliest = edf_pending.front().deadline_ms;
+  std::size_t best = 1;  // head is always served, even if already late
+  for (std::size_t n = cap; n > 1; --n) {
+    if (now_ms + batch_latency_ms_(static_cast<int>(n)) <= earliest) {
+      best = n;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace netcut::serve

@@ -1,0 +1,49 @@
+// Greedy deadline-aware batch forming.
+//
+// Given the EDF-sorted pending set, pick the largest batch (up to the size
+// cap) whose estimated batched latency still meets the earliest deadline in
+// the batch. Because the candidates are EDF-sorted, the earliest deadline
+// of any prefix is the head's deadline, so the search is a single scan over
+// the batch-latency curve — which the device model makes concave in batch
+// size (launch once, weights stream once), exactly the amortization the
+// batcher is there to exploit.
+//
+// The head request is always served (batch >= 1) even when it can no
+// longer meet its deadline: it is cheaper to complete it late — and let
+// the miss feed the watchdog — than to let it starve the queue.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace netcut::serve {
+
+struct BatcherConfig {
+  int max_batch = 8;
+};
+
+class BatchFormer {
+ public:
+  /// `batch_latency_ms(n)` estimates the service time of a batch of n on
+  /// the option currently in service (e.g. from
+  /// LatencyEstimator::estimate_batch_ms or a measured curve). It must be
+  /// non-decreasing in n.
+  BatchFormer(BatcherConfig config, std::function<double(int)> batch_latency_ms);
+
+  /// Batch size to take from the EDF-sorted pending set at time `now_ms`:
+  /// the largest n <= min(max_batch, pending) with
+  ///   now_ms + batch_latency_ms(n) <= earliest deadline in the batch,
+  /// and at least 1 when the pending set is non-empty.
+  std::size_t choose(double now_ms, const std::vector<Request>& edf_pending) const;
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  BatcherConfig config_;
+  std::function<double(int)> batch_latency_ms_;
+};
+
+}  // namespace netcut::serve

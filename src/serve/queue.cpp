@@ -1,0 +1,59 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netcut::serve {
+
+void RequestQueue::push(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) throw std::logic_error("RequestQueue: push after close");
+    pending_.push_back(r);
+  }
+  cv_.notify_one();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+bool RequestQueue::empty() const { return size() == 0; }
+
+std::vector<Request> RequestQueue::take(
+    const std::function<std::size_t(const std::vector<Request>&)>& choose) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return {};
+  std::sort(pending_.begin(), pending_.end(), [](const Request& a, const Request& b) {
+    if (a.deadline_ms != b.deadline_ms) return a.deadline_ms < b.deadline_ms;
+    return a.id < b.id;
+  });
+  const std::size_t n = choose(pending_);
+  if (n > pending_.size()) throw std::logic_error("RequestQueue: choose picked too many");
+  std::vector<Request> out(pending_.begin(),
+                           pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+bool RequestQueue::wait_nonempty() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  return !pending_.empty();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace netcut::serve

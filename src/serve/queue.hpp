@@ -1,0 +1,54 @@
+// Thread-safe request queue between submitting clients and the batch
+// server. Clients push; the server atomically takes the earliest-deadline
+// prefix chosen by its batching policy.
+//
+// The EDF (earliest-deadline-first) order is decided inside one critical
+// section together with the pop, so a concurrently arriving request can
+// never split the policy's view of the queue from what is actually taken.
+// Ties on deadline break by id, which keeps the order — and therefore every
+// downstream number — deterministic under the simulated clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace netcut::serve {
+
+class RequestQueue {
+ public:
+  /// Enqueue one request. Wakes one waiter.
+  void push(Request r);
+
+  std::size_t size() const;
+  bool empty() const;
+
+  /// Atomically: sort the pending set EDF (deadline, then id), ask `choose`
+  /// how many of the earliest-deadline requests to take, pop and return
+  /// that prefix. `choose` sees the full EDF-sorted pending set and must
+  /// return a count in [0, size]; it runs under the queue lock, so it must
+  /// not touch the queue.
+  std::vector<Request> take(
+      const std::function<std::size_t(const std::vector<Request>&)>& choose);
+
+  /// Block until the queue is non-empty or closed. Returns true when there
+  /// is work, false when the queue is closed and drained. The simulated
+  /// clock never calls this; live (demo) servers do.
+  bool wait_nonempty();
+
+  /// No more pushes will arrive; wakes all waiters.
+  void close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Request> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace netcut::serve

@@ -1,0 +1,25 @@
+// The unit of work flowing through the serving layer: one inference request
+// with an absolute deadline on a shared millisecond timeline.
+//
+// The serving layer is clock-agnostic: it never reads a wall clock. Callers
+// stamp arrivals and pass `now` into every call, so the same code runs
+// under the deterministic simulated clock (tests, benchmarks) and under a
+// real steady_clock-derived timeline (the demo).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace netcut::serve {
+
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_ms = 0.0;   // when the request entered the system
+  double deadline_ms = 0.0;  // absolute: respond by this time or it is a miss
+  /// Input image (one CHW tensor). Borrowed: the submitter keeps it alive
+  /// until the completion for this id is delivered.
+  const tensor::Tensor* input = nullptr;
+};
+
+}  // namespace netcut::serve

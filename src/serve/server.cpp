@@ -1,0 +1,106 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace netcut::serve {
+
+namespace {
+constexpr double kSlowdownAlpha = 0.1;  // matches the control loop's EWMA
+}  // namespace
+
+BatchServer::BatchServer(std::vector<ServeOption> options, RequestQueue& queue,
+                         ServeConfig config)
+    : options_(std::move(options)),
+      queue_(queue),
+      config_(config),
+      former_(BatcherConfig{config.max_batch},
+              [this](int n) { return options_[watchdog_.current()].latency_ms(n); }),
+      watchdog_(config.watchdog, options_.empty() ? 1 : options_.size()),
+      rng_(util::derive_seed(config.seed, "serve/service")) {
+  if (options_.empty()) throw std::invalid_argument("BatchServer: no TRN options");
+  for (const ServeOption& o : options_)
+    if (!o.latency_ms) throw std::invalid_argument("BatchServer: null latency model");
+  if (config_.nominal_deadline_ms <= 0)
+    throw std::invalid_argument("BatchServer: bad nominal deadline");
+  const hw::FaultModel& model =
+      config_.faults != nullptr ? *config_.faults : hw::FaultModel::global();
+  if (model.active()) fault_stream_ = model.stream("serve");
+}
+
+std::vector<Completion> BatchServer::step(double now_ms) {
+  const std::size_t cur = watchdog_.current();
+  std::vector<Request> batch =
+      queue_.take([&](const std::vector<Request>& edf) { return former_.choose(now_ms, edf); });
+  if (batch.empty()) return {};
+  const int n = static_cast<int>(batch.size());
+
+  // Real compute: one batched pass, bitwise identical to n single-image
+  // forwards (outputs skipped for timing-only options).
+  std::vector<tensor::Tensor> outputs;
+  if (options_[cur].net != nullptr) {
+    std::vector<const tensor::Tensor*> inputs;
+    inputs.reserve(batch.size());
+    for (const Request& r : batch) {
+      if (r.input == nullptr)
+        throw std::invalid_argument("BatchServer: null input on a compute option");
+      inputs.push_back(r.input);
+    }
+    outputs = options_[cur].net->forward_batch(inputs);
+  }
+
+  // Simulated time: the device model's batched latency, with run-to-run
+  // jitter and whatever the fault schedule does to this launch. A failed
+  // run still burns the time but yields no usable results.
+  const double nominal = options_[cur].latency_ms(n);
+  double service = nominal * rng_.lognormal(0.0, config_.jitter_sigma);
+  hw::RunFault fault;
+  if (fault_stream_.active()) fault = fault_stream_.next(static_cast<int>(batch_counter_));
+  service *= fault.multiplier;
+  const double finish = now_ms + service;
+  if (!fault.failed) slowdown_ += kSlowdownAlpha * (service / nominal - slowdown_);
+
+  std::vector<Completion> done;
+  done.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    Completion c;
+    c.id = r.id;
+    c.arrival_ms = r.arrival_ms;
+    c.deadline_ms = r.deadline_ms;
+    c.finish_ms = finish;
+    c.failed = fault.failed;
+    c.missed = fault.failed || finish > r.deadline_ms;
+    c.option = cur;
+    c.batch = n;
+    if (i < outputs.size()) c.output = std::move(outputs[i]);
+    done.push_back(std::move(c));
+  }
+
+  // Feed every completion's verdict to the shared breach policy: queue
+  // saturation (waiting time pushing finishes past deadlines) is
+  // indistinguishable from device degradation here, and gets the same
+  // fallback.
+  if (watchdog_.adaptive()) {
+    for (const Completion& c : done) {
+      const std::size_t at = watchdog_.current();
+      const bool slower_fits =
+          at > 0 && options_[at - 1].latency_ms(1) * slowdown_ <=
+                        config_.watchdog.recover_headroom * config_.nominal_deadline_ms;
+      const app::MissRateWatchdog::Decision dec = watchdog_.observe(c.missed, slower_fits);
+      if (dec.action == app::MissRateWatchdog::Action::kFallBack)
+        stats_.switches.push_back({batch_counter_, at, at + 1, dec.window_miss_rate});
+      else if (dec.action == app::MissRateWatchdog::Action::kRecover)
+        stats_.switches.push_back({batch_counter_, at, at - 1, dec.window_miss_rate});
+    }
+  }
+
+  stats_.served += n;
+  for (const Completion& c : done) stats_.missed += c.missed ? 1 : 0;
+  stats_.batches += 1;
+  stats_.busy_ms += service;
+  ++batch_counter_;
+  return done;
+}
+
+}  // namespace netcut::serve

@@ -1,0 +1,122 @@
+// BatchServer: the deadline-aware serving layer (the "one camera, one
+// hand" control loop generalized to many concurrent clients).
+//
+// One step serves one batch: the greedy former picks the largest
+// earliest-deadline prefix of the queue whose estimated batched latency
+// still meets the batch's earliest deadline, the batch runs through the
+// TRN's true batch-N forward path (bitwise identical to N single-image
+// passes — see Network::forward_batch), and service time is charged by the
+// device model's batched roofline plus seeded jitter and the optional
+// NETCUT_FAULTS schedule.
+//
+// Like the prosthetic control loop, the server carries a Pareto front of
+// TRN options (preferred first, fastest fallback last) and feeds every
+// completion's deadline verdict to the shared MissRateWatchdog: a saturated
+// queue — arrivals outpacing service — looks exactly like a degrading
+// device, so the same breach policy sheds load by falling back to a faster
+// TRN, and the same hysteresis steps back up once the queue calms and the
+// slower network is predicted to fit again.
+//
+// The server is clock-agnostic: `now_ms` comes from the caller, so the
+// deterministic simulated clock (tests/serve_sim.hpp) and a wall clock
+// drive identical code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/watchdog.hpp"
+#include "hw/faults.hpp"
+#include "nn/network.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::serve {
+
+/// One deployable TRN on the latency/accuracy Pareto front.
+struct ServeOption {
+  std::string name;  // paper-style "ResNet50/113"
+  /// Runs the real batched forward for completions. May be null for
+  /// timing-only simulations (outputs are then left empty).
+  nn::Network* net = nullptr;
+  /// Nominal (noise-free) service time of a batch of n on the device, e.g.
+  /// LatencyLab::true_batch_ms or ProfilerEstimator::estimate_batch_ms
+  /// curried over (base, cut). Must be non-decreasing in n.
+  std::function<double(int)> latency_ms;
+};
+
+struct ServeConfig {
+  int max_batch = 8;
+  /// Nominal relative deadline clients are expected to attach, used only
+  /// for the watchdog's recovery fit test (the prediction that the slower
+  /// TRN would meet deadlines again).
+  double nominal_deadline_ms = 10.0;
+  double jitter_sigma = 0.015;  // lognormal service-time noise
+  std::uint64_t seed = 7070;
+  app::WatchdogConfig watchdog;
+  /// Fault schedule; nullptr falls back to FaultModel::global()
+  /// (the NETCUT_FAULTS environment schedule).
+  const hw::FaultModel* faults = nullptr;
+};
+
+/// Outcome of one request.
+struct Completion {
+  std::uint64_t id = 0;
+  double arrival_ms = 0.0;
+  double deadline_ms = 0.0;
+  double finish_ms = 0.0;
+  bool missed = false;        // finished after its deadline (or failed)
+  bool failed = false;        // the serving run failed under faults
+  std::size_t option = 0;     // Pareto-front index that served it
+  int batch = 0;              // size of the batch it rode in
+  tensor::Tensor output;      // empty when the option has no network
+};
+
+/// One watchdog move, for reporting.
+struct ServeSwitch {
+  std::int64_t batch_index = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double window_miss_rate = 0.0;
+};
+
+struct ServeStats {
+  std::int64_t served = 0;
+  std::int64_t missed = 0;
+  std::int64_t batches = 0;
+  double busy_ms = 0.0;  // total service time charged
+  std::vector<ServeSwitch> switches;
+};
+
+class BatchServer {
+ public:
+  BatchServer(std::vector<ServeOption> options, RequestQueue& queue, ServeConfig config);
+
+  /// Serve one batch from the queue at time `now_ms`. Returns the batch's
+  /// completions in EDF order (empty when the queue is empty); every
+  /// completion in the batch shares one finish time.
+  std::vector<Completion> step(double now_ms);
+
+  /// Pareto-front index currently in service (0 = preferred).
+  std::size_t current_option() const { return watchdog_.current(); }
+
+  const ServeStats& stats() const { return stats_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  std::vector<ServeOption> options_;
+  RequestQueue& queue_;
+  ServeConfig config_;
+  BatchFormer former_;
+  app::MissRateWatchdog watchdog_;
+  util::Rng rng_;
+  hw::FaultStream fault_stream_;
+  double slowdown_ = 1.0;  // EWMA of observed / nominal service time
+  std::int64_t batch_counter_ = 0;
+  ServeStats stats_;
+};
+
+}  // namespace netcut::serve

@@ -1,0 +1,127 @@
+// Golden-file regression harness: a checked-in flat JSON object mapping
+// metric names to doubles, compared against freshly computed metrics with a
+// per-key tolerance.
+//
+// File format (hand-parsed, no JSON dependency):
+//   {
+//     "fig01/latency_ms/MobileNetV1-0.25": 0.123456,
+//     ...
+//   }
+//
+// Regeneration: run the test with NETCUT_GOLDEN_REGEN=1 and the current
+// metrics are written over the golden file instead of compared (the test
+// then skips). Tolerances absorb the jitter injected by the chaos fault
+// schedule (scripts/check.sh runs the suite both clean and under
+// NETCUT_FAULTS), so a golden mismatch means a real behavioural change,
+// not measurement noise.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netcut::golden {
+
+using Metrics = std::map<std::string, double>;
+
+inline bool regen_requested() {
+  const char* env = std::getenv("NETCUT_GOLDEN_REGEN");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void save(const std::string& path, const Metrics& metrics) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("golden: cannot write " + path);
+  out << "{\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : metrics) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.17g", value);
+    out << "  \"" << key << "\": " << num << (++i == metrics.size() ? "" : ",") << "\n";
+  }
+  out << "}\n";
+}
+
+inline Metrics load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("golden: cannot read " + path +
+                             " (run with NETCUT_GOLDEN_REGEN=1 to create it)");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  Metrics metrics;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos)
+      throw std::runtime_error("golden: unterminated key in " + path);
+    const std::string key = text.substr(open + 1, close - open - 1);
+    const std::size_t colon = text.find(':', close);
+    if (colon == std::string::npos)
+      throw std::runtime_error("golden: missing ':' after key '" + key + "' in " + path);
+    const char* start = text.c_str() + colon + 1;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start)
+      throw std::runtime_error("golden: bad number for key '" + key + "' in " + path);
+    metrics[key] = value;
+    pos = static_cast<std::size_t>(end - text.c_str());
+  }
+  if (metrics.empty()) throw std::runtime_error("golden: no metrics in " + path);
+  return metrics;
+}
+
+struct Tolerance {
+  double rel = 0.0;  // fraction of |golden value|
+  double abs = 0.0;  // additive floor (covers golden values near zero)
+};
+
+/// Compare actual metrics against the golden set. A key passes when
+/// |actual - golden| <= tol.abs + tol.rel * |golden|; the tolerance is the
+/// longest-prefix match from `overrides`, else `fallback`. Missing and
+/// unexpected keys are always failures (the metric *set* is part of the
+/// contract). Returns human-readable problem lines; empty means pass.
+inline std::vector<std::string> diff(const Metrics& want, const Metrics& got,
+                                     Tolerance fallback,
+                                     const std::map<std::string, Tolerance>& overrides = {}) {
+  std::vector<std::string> problems;
+  for (const auto& [key, golden_value] : want) {
+    const auto it = got.find(key);
+    if (it == got.end()) {
+      problems.push_back("missing metric: " + key);
+      continue;
+    }
+    Tolerance tol = fallback;
+    std::size_t best_prefix = 0;
+    for (const auto& [prefix, t] : overrides)
+      if (key.compare(0, prefix.size(), prefix) == 0 && prefix.size() >= best_prefix) {
+        tol = t;
+        best_prefix = prefix.size();
+      }
+    const double limit = tol.abs + tol.rel * std::abs(golden_value);
+    const double delta = std::abs(it->second - golden_value);
+    if (!(delta <= limit)) {  // catches NaN too
+      char line[256];
+      std::snprintf(line, sizeof line, "%s: golden %.6g vs actual %.6g (|delta| %.3g > %.3g)",
+                    key.c_str(), golden_value, it->second, delta, limit);
+      problems.push_back(line);
+    }
+  }
+  for (const auto& [key, value] : got) {
+    (void)value;
+    if (want.find(key) == want.end()) problems.push_back("unexpected metric: " + key);
+  }
+  return problems;
+}
+
+}  // namespace netcut::golden

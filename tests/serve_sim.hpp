@@ -1,0 +1,141 @@
+// Deterministic load simulation for the serving layer, shared by
+// tests/test_serve.cpp and bench/serve_snapshot.cpp.
+//
+// Everything here runs on a simulated millisecond clock: arrivals are an
+// open-loop Poisson process drawn from a seeded Rng (the same
+// derive_seed(seed, label) idiom the fault streams use), the single-server
+// event loop advances time to batch finishes and next arrivals, and every
+// reported number — throughput, p50/p99 response, miss rate — is a pure
+// function of (config, seed). Two same-seed invocations are bit-identical,
+// which is what lets the benchmark check its numbers into a snapshot and
+// the tests assert reproducibility outright.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::serve_sim {
+
+struct LoadConfig {
+  int requests = 200;
+  /// Mean of the exponential interarrival gap (open-loop: arrivals do not
+  /// wait for service). Rates above the single-request service rate
+  /// saturate an unbatched server.
+  double mean_interarrival_ms = 1.0;
+  /// Relative deadline attached to every request (absolute deadline =
+  /// arrival + slack).
+  double deadline_slack_ms = 10.0;
+  std::uint64_t seed = 424242;
+};
+
+/// Open-loop Poisson arrival schedule, in arrival order with ids 0..n-1.
+/// Inputs are assigned round-robin from `pool` (which the caller keeps
+/// alive for the whole simulation); an empty pool leaves inputs null and is
+/// only valid for timing-only servers (ServeOption::net == nullptr).
+inline std::vector<serve::Request> generate_arrivals(
+    const LoadConfig& config, const std::vector<tensor::Tensor>& pool) {
+  if (config.requests < 1) throw std::invalid_argument("generate_arrivals: no requests");
+  if (config.mean_interarrival_ms <= 0 || config.deadline_slack_ms <= 0)
+    throw std::invalid_argument("generate_arrivals: non-positive timing");
+  util::Rng rng(util::derive_seed(config.seed, "serve-sim/arrivals"));
+  std::vector<serve::Request> out;
+  out.reserve(static_cast<std::size_t>(config.requests));
+  double t = 0.0;
+  for (int i = 0; i < config.requests; ++i) {
+    // Exponential gap via inverse transform; uniform() < 1 keeps log finite.
+    t += -config.mean_interarrival_ms * std::log(1.0 - rng.uniform());
+    serve::Request r;
+    r.id = static_cast<std::uint64_t>(i);
+    r.arrival_ms = t;
+    r.deadline_ms = t + config.deadline_slack_ms;
+    if (!pool.empty()) r.input = &pool[static_cast<std::size_t>(i) % pool.size()];
+    out.push_back(r);
+  }
+  return out;
+}
+
+struct SimReport {
+  std::vector<serve::Completion> completions;  // in completion order
+  double makespan_ms = 0.0;       // last finish time
+  double throughput_rps = 0.0;    // served per second of simulated time
+  double p50_response_ms = 0.0;   // response = finish - arrival
+  double p99_response_ms = 0.0;
+  double miss_rate = 0.0;         // deadline misses / served
+  std::int64_t batches = 0;
+  double mean_batch = 0.0;
+};
+
+/// Empirical quantile of `sorted` (ascending), nearest-rank. q in [0, 1].
+inline double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  return sorted[std::min(sorted.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+/// Single-server event loop: enqueue every arrival due by `t`; when the
+/// queue is empty jump `t` to the next arrival, otherwise serve one batch
+/// and advance `t` to its finish. Runs until all arrivals complete.
+inline SimReport run_open_loop(serve::BatchServer& server, serve::RequestQueue& queue,
+                               const std::vector<serve::Request>& arrivals) {
+  SimReport rep;
+  rep.completions.reserve(arrivals.size());
+  double t = 0.0;
+  std::size_t next = 0;
+  while (rep.completions.size() < arrivals.size()) {
+    while (next < arrivals.size() && arrivals[next].arrival_ms <= t)
+      queue.push(arrivals[next++]);
+    if (queue.empty()) {
+      t = arrivals[next].arrival_ms;
+      continue;
+    }
+    std::vector<serve::Completion> done = server.step(t);
+    t = done.front().finish_ms;
+    for (serve::Completion& c : done) rep.completions.push_back(std::move(c));
+  }
+
+  std::vector<double> responses;
+  responses.reserve(rep.completions.size());
+  std::int64_t misses = 0;
+  for (const serve::Completion& c : rep.completions) {
+    responses.push_back(c.finish_ms - c.arrival_ms);
+    rep.makespan_ms = std::max(rep.makespan_ms, c.finish_ms);
+    misses += c.missed ? 1 : 0;
+  }
+  std::sort(responses.begin(), responses.end());
+  const double n = static_cast<double>(rep.completions.size());
+  rep.throughput_rps = rep.makespan_ms > 0 ? n / rep.makespan_ms * 1e3 : 0.0;
+  rep.p50_response_ms = quantile(responses, 0.50);
+  rep.p99_response_ms = quantile(responses, 0.99);
+  rep.miss_rate = n > 0 ? static_cast<double>(misses) / n : 0.0;
+  rep.batches = server.stats().batches;
+  rep.mean_batch = rep.batches > 0 ? n / static_cast<double>(rep.batches) : 0.0;
+  return rep;
+}
+
+/// Bit-level equality of two simulation outcomes (double comparisons are
+/// exact on purpose: the contract is bit-reproducibility, not tolerance).
+inline bool reports_identical(const SimReport& a, const SimReport& b) {
+  if (a.completions.size() != b.completions.size() || a.batches != b.batches ||
+      a.makespan_ms != b.makespan_ms || a.throughput_rps != b.throughput_rps ||
+      a.p50_response_ms != b.p50_response_ms || a.p99_response_ms != b.p99_response_ms ||
+      a.miss_rate != b.miss_rate)
+    return false;
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    const serve::Completion& x = a.completions[i];
+    const serve::Completion& y = b.completions[i];
+    if (x.id != y.id || x.finish_ms != y.finish_ms || x.missed != y.missed ||
+        x.failed != y.failed || x.option != y.option || x.batch != y.batch)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace netcut::serve_sim

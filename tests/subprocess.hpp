@@ -1,0 +1,45 @@
+// Minimal subprocess helper for exit-code tests: run a shell command line,
+// capture combined stdout+stderr, and decode the child's exit status.
+//
+// Built on popen(3) so it needs no extra dependencies; the command runs
+// through /bin/sh, which lets callers prefix environment assignments
+// ("NETCUT_FAULTS=off ./netcut_cli ...") without touching this process's
+// environment.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace netcut::testing {
+
+struct SubprocessResult {
+  int exit_code = -1;    // WEXITSTATUS when the child exited normally
+  bool signalled = false;  // true when the child died on a signal
+  std::string output;    // combined stdout + stderr
+};
+
+inline SubprocessResult run_command(const std::string& command) {
+  const std::string wrapped = command + " 2>&1";
+  FILE* pipe = ::popen(wrapped.c_str(), "r");
+  if (pipe == nullptr) throw std::runtime_error("popen failed for: " + command);
+
+  SubprocessResult result;
+  std::array<char, 4096> chunk{};
+  while (std::fgets(chunk.data(), static_cast<int>(chunk.size()), pipe) != nullptr)
+    result.output += chunk.data();
+
+  const int status = ::pclose(pipe);
+  if (status == -1) throw std::runtime_error("pclose failed for: " + command);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else {
+    result.signalled = true;
+  }
+  return result;
+}
+
+}  // namespace netcut::testing

@@ -1,0 +1,83 @@
+// Structured exit codes of the netcut_cli front end, asserted end-to-end by
+// actually spawning the binary (tests/subprocess.hpp).
+//
+// The CLI contract (examples/netcut_cli.cpp):
+//   0  success / --help
+//   1  no network can meet the deadline
+//   2  bad arguments
+//   3  filesystem failure (unusable cache location)
+//   4  runtime failure inside the pipeline
+//
+// Each invocation pins NETCUT_FAULTS explicitly on its own command line so
+// the assertions hold both in clean CI runs and when the whole suite runs
+// under a chaos fault schedule (scripts/check.sh exports NETCUT_FAULTS for
+// the chaos pass; a child inheriting that env must not flip these codes).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "subprocess.hpp"
+
+namespace netcut {
+namespace {
+
+#ifndef NETCUT_CLI_PATH
+#error "NETCUT_CLI_PATH must point at the netcut_cli binary"
+#endif
+
+std::string cli(const std::string& args, const std::string& faults = "off") {
+  return "NETCUT_FAULTS=" + faults + " " + std::string(NETCUT_CLI_PATH) + " " + args;
+}
+
+TEST(CliExitCodes, HelpExitsZero) {
+  const auto r = testing::run_command(cli("--help"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, UnknownFlagExitsTwo) {
+  const auto r = testing::run_command(cli("--frobnicate"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, UnknownNetworkExitsTwo) {
+  const auto r = testing::run_command(cli("--net NoSuchNet-9.99"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown network"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, ImpossibleDeadlineExitsOne) {
+  // A 1 ns deadline is infeasible for every cut, so the run stops after the
+  // (cheap, device-model) latency sweep without retraining anything.
+  const auto r =
+      testing::run_command(cli("--deadline 0.000001 --fast --net MobileNetV1-0.25"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("no network can meet"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, UnusableCacheDirExitsThree) {
+  // /dev/null is a file, so create_directories("/dev/null/x") must throw
+  // std::filesystem::filesystem_error before any expensive work starts.
+  const auto r = testing::run_command(cli("--cache-dir /dev/null/x --fast"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("filesystem error"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, TotalMeasurementLossExitsFour) {
+  // drop=1.0 makes every simulated measurement run fail, so the latency lab
+  // throws std::runtime_error -> the generic handler maps it to 4.
+  const auto r = testing::run_command(
+      cli("--deadline 0.5 --fast --net MobileNetV1-0.25", "drop=1.0"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("netcut_cli: error:"), std::string::npos) << r.output;
+}
+
+}  // namespace
+}  // namespace netcut

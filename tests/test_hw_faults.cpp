@@ -1,12 +1,14 @@
 // Fault-injection schedule + self-healing measurement checks: spec parsing,
-// per-stream determinism, bit-identical clean paths, MAD trimming under
-// spikes and thermal throttles, retry accounting, and the estimator's
-// low-confidence row repair.
+// grammar fuzzing and format/parse round-trips, per-stream determinism,
+// bit-identical clean paths, MAD trimming under spikes and thermal
+// throttles, retry accounting, and the estimator's low-confidence row
+// repair.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "core/estimator.hpp"
@@ -17,6 +19,7 @@
 #include "nn/activation.hpp"
 #include "nn/conv.hpp"
 #include "nn/norm.hpp"
+#include "util/rng.hpp"
 #include "zoo/zoo.hpp"
 
 namespace netcut::hw {
@@ -69,6 +72,88 @@ TEST(FaultSpec, MalformedClausesThrow) {
   EXPECT_THROW(parse_fault_spec("spike=0.5"), std::invalid_argument);
   EXPECT_THROW(parse_fault_spec("bananas"), std::invalid_argument);
   EXPECT_THROW(parse_fault_spec("drop=2.0"), std::invalid_argument);
+}
+
+TEST(FaultSpec, DiagnosticsAreOneLineAndNameTheVariable) {
+  const char* bad[] = {"throttle=abc", "spike=0.5",    "bananas",     "drop=2.0",
+                       "burst=0.1x2",  "spike=-0.1x2", "throttle=0.5@1~1"};
+  for (const char* spec : bad) {
+    try {
+      parse_fault_spec(spec);
+      ADD_FAILURE() << "'" << spec << "' should not parse";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_EQ(msg.find('\n'), std::string::npos) << spec << ": " << msg;
+      EXPECT_EQ(msg.rfind("NETCUT_FAULTS:", 0), 0u) << spec << ": " << msg;
+    }
+  }
+}
+
+// Property: any token soup either parses or throws std::invalid_argument —
+// never crashes, never throws anything else. The generator samples from the
+// grammar's own alphabet (keys, separators, digits) so a large fraction of
+// inputs are near-misses of valid clauses rather than trivially rejected
+// noise.
+TEST(FaultSpec, FuzzedTokenSoupNeverCrashes) {
+  const char* tokens[] = {"throttle", "spike", "burst",  "drop", "seed", "off", "=",
+                          ",",        "@",     "~",      "x",    "0",    "1",   "2.5",
+                          "0.02",     "-1",    "1e300",  "nan",  "inf",  ".",   "e",
+                          "0x8",      "@2~",   "=0.1x6", ""};
+  constexpr int kCases = 2000;
+  util::Rng rng(20260806);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < kCases; ++i) {
+    std::string spec;
+    const int pieces = rng.uniform_int(0, 12);
+    for (int p = 0; p < pieces; ++p)
+      spec += tokens[rng.uniform_int(0, static_cast<int>(std::size(tokens)) - 1)];
+    try {
+      const FaultConfig c = parse_fault_spec(spec);
+      // Whatever parsed must survive a format -> parse round-trip.
+      EXPECT_EQ(parse_fault_spec(format_fault_spec(c)), c) << "spec: " << spec;
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  // The token alphabet must actually exercise both outcomes.
+  EXPECT_GT(parsed, kCases / 20);
+  EXPECT_GT(rejected, kCases / 20);
+}
+
+// Property: every valid spec round-trips — parse -> format -> parse yields
+// an identical config. Randomized over the full grammar.
+TEST(FaultSpec, ValidSpecsRoundTripThroughFormat) {
+  util::Rng rng(424242);
+  for (int i = 0; i < 500; ++i) {
+    std::string spec;
+    auto clause = [&](const std::string& text) {
+      if (!spec.empty()) spec += ',';
+      spec += text;
+    };
+    if (rng.chance(0.5))
+      clause("throttle=" + std::to_string(rng.uniform(1.0, 4.0)) + "@" +
+             std::to_string(rng.uniform_int(0, 500)) + "~" +
+             std::to_string(rng.uniform(1.0, 600.0)));
+    if (rng.chance(0.5))
+      clause("spike=" + std::to_string(rng.uniform(0.0, 1.0)) + "x" +
+             std::to_string(rng.uniform(1.0, 10.0)));
+    if (rng.chance(0.5))
+      clause("burst=" + std::to_string(rng.uniform(0.0, 1.0)) + "x" +
+             std::to_string(rng.uniform_int(1, 32)) + "x" +
+             std::to_string(rng.uniform(1.0, 8.0)));
+    if (rng.chance(0.5)) clause("drop=" + std::to_string(rng.uniform(0.0, 1.0)));
+    if (rng.chance(0.5)) clause("seed=" + std::to_string(rng.uniform_int(0, 1 << 30)));
+
+    const FaultConfig once = parse_fault_spec(spec);
+    const std::string canonical = format_fault_spec(once);
+    const FaultConfig twice = parse_fault_spec(canonical);
+    EXPECT_EQ(once, twice) << "spec: '" << spec << "' canonical: '" << canonical << "'";
+    // format is a fixed point: canonical specs format back to themselves.
+    EXPECT_EQ(format_fault_spec(twice), canonical);
+  }
+  EXPECT_EQ(format_fault_spec(parse_fault_spec("")), "off");
+  EXPECT_EQ(format_fault_spec(parse_fault_spec("off")), "off");
 }
 
 TEST(FaultStream, DeterministicPerLabelAndDecorrelatedAcrossLabels) {

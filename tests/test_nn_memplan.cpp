@@ -10,6 +10,7 @@
 #include <cctype>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,62 @@ INSTANTIATE_TEST_SUITE_P(Nets, MemPlanZoo,
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return n;
                          });
+
+TEST_P(MemPlanZoo, BatchedForwardBitIdenticalToSingleImageForwards) {
+  // The serving layer's contract: one batch-N launch through the lane-
+  // replicated arena returns exactly what N independent single-image
+  // forwards would, at any thread count.
+  PoolGuard guard;
+  const Graph g = initialized_trunk(GetParam(), 32, 71);
+  util::Rng rng(72);
+  std::vector<Tensor> images;
+  for (int i = 0; i < 5; ++i) images.push_back(Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f));
+  std::vector<const Tensor*> inputs;
+  for (const Tensor& t : images) inputs.push_back(&t);
+
+  for (const int threads : {1, 8}) {
+    util::set_num_threads(threads);
+    NetPair nets(g);
+    const std::vector<Tensor> batched = nets.planned.forward_batch(inputs);
+    ASSERT_EQ(batched.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const Tensor single = nets.naive.forward(images[i]);
+      expect_bitwise_equal(batched[i], single,
+                           zoo::net_name(GetParam()) + " lane " + std::to_string(i) +
+                               " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(MemPlan, DistinctBatchSizesNeverShareAPlan) {
+  // Regression: the plan-cache key must include the batch size — a batch-4
+  // pass reusing a batch-1 plan would run lanes 1..3 through unreserved
+  // arena memory.
+  Graph g = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32);
+  Network net(std::move(g));
+  const MemoryPlan& p1 = net.plan_for({}, /*train=*/false, 1);
+  EXPECT_EQ(p1.batch(), 1);
+  const std::size_t lane = p1.lane_stride();
+  EXPECT_EQ(p1.arena_floats(), lane);
+
+  const MemoryPlan& p4 = net.plan_for({}, /*train=*/false, 4);
+  EXPECT_EQ(p4.batch(), 4);
+  EXPECT_EQ(p4.lane_stride(), lane);  // lane 0 layout is the batch-1 layout
+  EXPECT_EQ(p4.arena_floats(), 4 * lane);
+  EXPECT_NE(&p1, &p4);
+
+  // Asking for batch 1 again must not hand back the batch-4 plan.
+  const MemoryPlan& p1_again = net.plan_for({}, /*train=*/false, 1);
+  EXPECT_EQ(p1_again.batch(), 1);
+  EXPECT_EQ(p1_again.arena_floats(), lane);
+}
+
+TEST(MemPlan, BatchedPlansRejectTrainAndBadBatch) {
+  Graph g = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32);
+  const auto shapes = g.infer_shapes();
+  EXPECT_THROW(MemoryPlan(g, shapes, {}, /*train=*/true, 2), std::invalid_argument);
+  EXPECT_THROW(MemoryPlan(g, shapes, {}, /*train=*/false, 0), std::invalid_argument);
+}
 
 TEST(MemPlan, EveryZooNetPlansBelowNaiveSum) {
   for (const zoo::NetId id : zoo::all_nets()) {

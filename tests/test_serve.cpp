@@ -1,0 +1,293 @@
+// The serving layer: EDF queue semantics, deadline-aware batch forming,
+// the shared miss-rate watchdog, and the deterministic open-loop load
+// simulation — bit-reproducible numbers, batching beating single-request
+// service under overload, saturation triggering the Pareto-front fallback,
+// and served outputs bitwise identical to single-image forwards.
+//
+// This suite carries the `serve` ctest label and runs both clean and under
+// the NETCUT_FAULTS chaos schedule in check.sh, so every assertion must
+// hold with fault injection active (the global schedule flows into
+// BatchServer by default).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/watchdog.hpp"
+#include "hw/device.hpp"
+#include "nn/init.hpp"
+#include "nn/network.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve_sim.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace netcut {
+namespace {
+
+using serve_sim::LoadConfig;
+using serve_sim::SimReport;
+using tensor::Shape;
+using tensor::Tensor;
+
+serve::Request req(std::uint64_t id, double arrival, double deadline,
+                   const Tensor* input = nullptr) {
+  serve::Request r;
+  r.id = id;
+  r.arrival_ms = arrival;
+  r.deadline_ms = deadline;
+  r.input = input;
+  return r;
+}
+
+/// Memoized batched-latency curve of a zoo trunk on the simulated device.
+std::function<double(int)> batch_curve(std::shared_ptr<const nn::Graph> graph,
+                                       double scale = 1.0) {
+  auto device = std::make_shared<hw::DeviceModel>();
+  auto cache = std::make_shared<std::map<int, double>>();
+  return [graph = std::move(graph), device, cache, scale](int b) {
+    if (auto it = cache->find(b); it != cache->end()) return it->second;
+    const double v =
+        scale * device->network_latency_ms(*graph, hw::Precision::kInt8, true, b);
+    return cache->emplace(b, v).first->second;
+  };
+}
+
+std::shared_ptr<const nn::Graph> small_trunk() {
+  return std::make_shared<const nn::Graph>(
+      zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32));
+}
+
+TEST(ServeQueue, TakeIsEdfOrderedAndAtomic) {
+  serve::RequestQueue q;
+  q.push(req(0, 0.0, 30.0));
+  q.push(req(1, 1.0, 10.0));
+  q.push(req(2, 2.0, 20.0));
+  ASSERT_EQ(q.size(), 3u);
+
+  std::vector<serve::Request> seen;
+  const auto taken = q.take([&](const std::vector<serve::Request>& edf) {
+    seen = edf;
+    return std::size_t{2};
+  });
+  // The policy saw the whole pending set EDF-sorted...
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].id, 1u);
+  EXPECT_EQ(seen[1].id, 2u);
+  EXPECT_EQ(seen[2].id, 0u);
+  // ... and the earliest-deadline prefix was popped.
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].id, 1u);
+  EXPECT_EQ(taken[1].id, 2u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ServeQueue, DeadlineTiesBreakById) {
+  serve::RequestQueue q;
+  q.push(req(7, 0.0, 5.0));
+  q.push(req(3, 1.0, 5.0));
+  const auto taken = q.take([](const std::vector<serve::Request>& edf) {
+    return edf.size();
+  });
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].id, 3u);
+  EXPECT_EQ(taken[1].id, 7u);
+}
+
+TEST(ServeQueue, CloseStopsPushesAndWakesWaiters) {
+  serve::RequestQueue q;
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.wait_nonempty());
+  EXPECT_THROW(q.push(req(0, 0.0, 1.0)), std::logic_error);
+}
+
+TEST(BatchFormer, PacksLargestBatchMeetingTheEarliestDeadline) {
+  // Linear curve: lat(n) = 1 + n.
+  serve::BatchFormer former({/*max_batch=*/8},
+                            [](int n) { return 1.0 + static_cast<double>(n); });
+  std::vector<serve::Request> edf;
+  for (std::uint64_t i = 0; i < 10; ++i) edf.push_back(req(i, 0.0, 6.0));
+  // now=0: need 1 + n <= 6 -> n = 5 (even though 10 are pending, cap 8).
+  EXPECT_EQ(former.choose(0.0, edf), 5u);
+  // now=4: only n = 1 fits (1 + 1 <= 2 slack)... 4 + 1 + n <= 6 -> n = 1.
+  EXPECT_EQ(former.choose(4.0, edf), 1u);
+  // Already hopeless head: still serves it rather than starving the queue.
+  EXPECT_EQ(former.choose(100.0, edf), 1u);
+  // Plenty of slack: capped by max_batch.
+  for (auto& r : edf) r.deadline_ms = 1e6;
+  EXPECT_EQ(former.choose(0.0, edf), 8u);
+  EXPECT_EQ(former.choose(0.0, {}), 0u);
+}
+
+TEST(MissRateWatchdog, BreachFallsBackCooldownAndPatienceGateRecovery) {
+  app::WatchdogConfig cfg;
+  cfg.window = 4;
+  cfg.breach_miss_rate = 0.5;
+  cfg.recover_miss_rate = 0.0;
+  cfg.cooldown_frames = 4;
+  cfg.recover_patience = 3;
+  app::MissRateWatchdog wd(cfg, 2);
+  ASSERT_TRUE(wd.adaptive());
+
+  // Fill the window with misses: the first full-window breach acts at once.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(wd.observe(true, false).action, app::MissRateWatchdog::Action::kStay);
+  const auto fall = wd.observe(true, false);
+  EXPECT_EQ(fall.action, app::MissRateWatchdog::Action::kFallBack);
+  EXPECT_DOUBLE_EQ(fall.window_miss_rate, 1.0);
+  EXPECT_EQ(wd.current(), 1u);
+
+  // Calm but slower-does-not-fit: never recovers.
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(wd.observe(false, false).action, app::MissRateWatchdog::Action::kStay);
+  EXPECT_EQ(wd.current(), 1u);
+
+  // Calm and fitting: recovers after the patience streak.
+  int recovered_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    if (wd.observe(false, true).action == app::MissRateWatchdog::Action::kRecover) {
+      recovered_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(recovered_at, 2);  // three consecutive calm+fitting observations
+  EXPECT_EQ(wd.current(), 0u);
+}
+
+TEST(ServeSim, SameSeedIsBitIdentical) {
+  const auto g = small_trunk();
+  LoadConfig load;
+  load.requests = 300;
+  const auto curve = batch_curve(g);
+  load.mean_interarrival_ms = curve(1) / 4.0;
+  load.deadline_slack_ms = 4.0 * curve(1);
+
+  auto run = [&] {
+    serve::RequestQueue q;
+    serve::ServeConfig sc;
+    sc.nominal_deadline_ms = load.deadline_slack_ms;
+    serve::BatchServer server({{"trn", nullptr, batch_curve(g)}}, q, sc);
+    return serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
+  };
+  const SimReport a = run();
+  const SimReport b = run();
+  ASSERT_EQ(a.completions.size(), 300u);
+  EXPECT_TRUE(serve_sim::reports_identical(a, b));
+}
+
+TEST(ServeSim, BatchedServingBeatsSingleRequestUnderOverload) {
+  // Arrivals at ~5x the single-request service rate: an unbatched server
+  // saturates (queue and response times grow without bound); the batched
+  // one amortizes launches and weights and keeps up.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  LoadConfig load;
+  load.requests = 400;
+  load.mean_interarrival_ms = curve(1) / 5.0;
+  load.deadline_slack_ms = 6.0 * curve(1);
+
+  auto run = [&](int max_batch) {
+    serve::RequestQueue q;
+    serve::ServeConfig sc;
+    sc.max_batch = max_batch;
+    sc.nominal_deadline_ms = load.deadline_slack_ms;
+    serve::BatchServer server({{"trn", nullptr, batch_curve(g)}}, q, sc);
+    return serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
+  };
+  const SimReport single = run(1);
+  const SimReport batched = run(8);
+
+  EXPECT_GE(batched.throughput_rps, 3.0 * single.throughput_rps)
+      << "batched=" << batched.throughput_rps << " rps, single=" << single.throughput_rps
+      << " rps";
+  EXPECT_LE(batched.miss_rate, single.miss_rate)
+      << "batched=" << batched.miss_rate << " single=" << single.miss_rate;
+  EXPECT_LE(batched.p99_response_ms, single.p99_response_ms);
+  EXPECT_GT(batched.mean_batch, 1.5);
+}
+
+TEST(ServeSim, SaturationFallsBackToFasterTrnLikeADeadlineBreach) {
+  // A Pareto front of two options: the preferred TRN cannot sustain the
+  // offered load even batched; the fallback (a deeper cut, ~4x faster) can.
+  // Queue saturation shows up as deadline misses, the shared watchdog
+  // breaches, and the server sheds load by switching options.
+  const auto g = small_trunk();
+  const auto slow = batch_curve(g);
+  LoadConfig load;
+  load.requests = 600;
+  load.mean_interarrival_ms = slow(8) / 8.0 * 0.8;  // beyond batched capacity
+  load.deadline_slack_ms = 3.0 * slow(1);
+
+  serve::RequestQueue q;
+  serve::ServeConfig sc;
+  sc.max_batch = 8;
+  sc.nominal_deadline_ms = load.deadline_slack_ms;
+  sc.watchdog.window = 16;
+  sc.watchdog.cooldown_frames = 32;
+  serve::BatchServer server(
+      {{"preferred", nullptr, batch_curve(g)}, {"fallback", nullptr, batch_curve(g, 0.25)}},
+      q, sc);
+  const SimReport rep =
+      serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
+
+  ASSERT_FALSE(server.stats().switches.empty());
+  EXPECT_EQ(server.stats().switches.front().from, 0u);
+  EXPECT_EQ(server.stats().switches.front().to, 1u);
+  // The fallback served a substantial share of the load.
+  std::int64_t on_fallback = 0;
+  for (const serve::Completion& c : rep.completions) on_fallback += c.option == 1 ? 1 : 0;
+  EXPECT_GT(on_fallback, 0);
+  EXPECT_LT(rep.miss_rate, 1.0);
+}
+
+TEST(ServeSim, ServedOutputsBitwiseIdenticalToSingleImageForwards) {
+  // The whole point of the batched forward path: what a client gets back
+  // from a batch-N launch is exactly what a dedicated single-image pass
+  // would have produced.
+  nn::Graph g = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32);
+  util::Rng rng(515);
+  nn::init_graph(g, rng);
+  nn::Network served(g);
+  nn::Network reference(g);
+
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f));
+
+  auto graph_ptr = std::make_shared<const nn::Graph>(served.graph());
+  const auto curve = batch_curve(graph_ptr);
+  LoadConfig load;
+  load.requests = 64;
+  load.mean_interarrival_ms = curve(1) / 4.0;
+  load.deadline_slack_ms = 5.0 * curve(1);
+
+  serve::RequestQueue q;
+  serve::ServeConfig sc;
+  sc.nominal_deadline_ms = load.deadline_slack_ms;
+  serve::BatchServer server({{"trn", &served, batch_curve(graph_ptr)}}, q, sc);
+  const SimReport rep =
+      serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, pool));
+
+  ASSERT_EQ(rep.completions.size(), 64u);
+  bool saw_multi = false;
+  for (const serve::Completion& c : rep.completions) {
+    saw_multi = saw_multi || c.batch > 1;
+    const Tensor expect = reference.forward(pool[c.id % pool.size()]);
+    ASSERT_EQ(c.output.shape(), expect.shape());
+    ASSERT_EQ(std::memcmp(c.output.data(), expect.data(),
+                          sizeof(float) * static_cast<std::size_t>(expect.numel())),
+              0)
+        << "request " << c.id << " (batch " << c.batch << ")";
+  }
+  EXPECT_TRUE(saw_multi) << "load never formed a multi-request batch";
+}
+
+}  // namespace
+}  // namespace netcut
