@@ -2,9 +2,12 @@
 // else is built on, plus end-to-end inference of representative networks at
 // experiment resolution, the SVR fit, and the TRN construction path.
 //
-// `--json <path>` switches to a self-timed kernel sweep that appends one
-// JSON array of {kernel, m, k, n, gflops, ms} records to <path>, so the
-// perf trajectory of the GEMM/conv substrate can be tracked across PRs
+// `--json <path>` switches to a self-timed kernel sweep that writes one
+// JSON array of {kernel, m, k, n, gflops, ms, backend} records to <path> —
+// every fp32/int8 kernel shape timed under both the scalar and simd
+// backends, plus end-to-end fp32 vs integer forwards of a zoo trunk with
+// the measured and DeviceModel-predicted int8 speedups — so the perf
+// trajectory of the GEMM/conv substrate can be tracked across PRs
 // (see BENCH_kernels.json).
 #include <benchmark/benchmark.h>
 
@@ -17,12 +20,15 @@
 
 #include "core/trn.hpp"
 #include "data/hands.hpp"
+#include "hw/device.hpp"
 #include "ml/svr.hpp"
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
 #include "nn/init.hpp"
 #include "nn/network.hpp"
+#include "quant/fusion.hpp"
 #include "quant/qnetwork.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/gemm.hpp"
 #include "util/rng.hpp"
 #include "zoo/zoo.hpp"
@@ -150,6 +156,7 @@ struct KernelRecord {
   int m, k, n;
   double gflops = 0.0;
   double ms = 0.0;
+  const char* backend = "simd";
 };
 
 /// Best-of-reps wall time of fn(), in milliseconds.
@@ -171,41 +178,109 @@ int run_json_sweep(const std::string& path) {
   util::Rng rng(42);
   std::vector<KernelRecord> records;
 
-  auto gemm_like = [&](const char* name, int m, int k, int n, auto&& kernel) {
-    const auto a = tensor::Tensor::randn(tensor::Shape{m, k}, rng);
-    const auto b = tensor::Tensor::randn(tensor::Shape{k, n}, rng);
-    tensor::Tensor c(tensor::Shape{m, n});
-    KernelRecord r{name, m, k, n};
-    r.ms = time_best_ms([&] {
-      kernel(a.data(), b.data(), c.data(), m, k, n);
-      benchmark::DoNotOptimize(c.data());
-    });
-    r.gflops = 2.0 * m * k * n / (r.ms * 1e6);
-    records.push_back(r);
-  };
+  // Every kernel shape is timed once per backend; `backend` tags the rows so
+  // the JSON keeps scalar and simd columns side by side.
+  for (const tensor::BackendKind kind :
+       {tensor::BackendKind::kScalar, tensor::BackendKind::kSimd}) {
+    tensor::set_backend(kind);
+    const char* backend = tensor::backend_name(kind);
 
-  for (const int s : {64, 128, 256, 512})
-    gemm_like("gemm", s, s, s, tensor::gemm);
-  // Transposed variants at the shapes Conv2D::backward exercises. Operand
-  // layouts differ from plain gemm ([k x m] A, [n x k] B) but the random
-  // fill only cares about element count, so the timing is representative.
-  for (const int s : {64, 128, 256, 512}) {
-    gemm_like("gemm_at", s, s, s, tensor::gemm_at);
-    gemm_like("gemm_bt", s, s, s, tensor::gemm_bt);
+    auto gemm_like = [&](const char* name, int m, int k, int n, auto&& kernel) {
+      const auto a = tensor::Tensor::randn(tensor::Shape{m, k}, rng);
+      const auto b = tensor::Tensor::randn(tensor::Shape{k, n}, rng);
+      tensor::Tensor c(tensor::Shape{m, n});
+      KernelRecord r{name, m, k, n};
+      r.backend = backend;
+      r.ms = time_best_ms([&] {
+        kernel(a.data(), b.data(), c.data(), m, k, n);
+        benchmark::DoNotOptimize(c.data());
+      });
+      r.gflops = 2.0 * m * k * n / (r.ms * 1e6);
+      records.push_back(r);
+    };
+
+    for (const int s : {64, 128, 256, 512})
+      gemm_like("gemm", s, s, s, tensor::gemm);
+    // Transposed variants at the shapes Conv2D::backward exercises. Operand
+    // layouts differ from plain gemm ([k x m] A, [n x k] B) but the random
+    // fill only cares about element count, so the timing is representative.
+    for (const int s : {64, 128, 256, 512}) {
+      gemm_like("gemm_at", s, s, s, tensor::gemm_at);
+      gemm_like("gemm_bt", s, s, s, tensor::gemm_bt);
+    }
+
+    // Integer GEMM (uint8 activations x int8 weights -> int32), the engine
+    // of the quantized inference path. MACs counted as 2 ops like fp32 so
+    // the gflops column is directly comparable.
+    for (const int s : {64, 128, 256, 512}) {
+      std::vector<std::int8_t> a(static_cast<std::size_t>(s) * s);
+      std::vector<std::uint8_t> b(static_cast<std::size_t>(s) * s);
+      std::vector<std::int32_t> c(static_cast<std::size_t>(s) * s);
+      for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      KernelRecord r{"gemm_s8u8", s, s, s};
+      r.backend = backend;
+      r.ms = time_best_ms([&] {
+        tensor::gemm_s8u8(a.data(), b.data(), c.data(), s, s, s);
+        benchmark::DoNotOptimize(c.data());
+      });
+      r.gflops = 2.0 * s * s * s / (r.ms * 1e6);
+      records.push_back(r);
+    }
+
+    for (const int c : {16, 64}) {
+      nn::Conv2D conv(c, c, 3, 1);
+      nn::he_init_conv(conv.weight(), rng);
+      const auto x = tensor::Tensor::randn(tensor::Shape::chw(c, 16, 16), rng);
+      // im2col lowering: m = out_c, k = in_c*3*3, n = oh*ow.
+      KernelRecord r{"conv3x3", c, c * 9, 16 * 16};
+      r.backend = backend;
+      r.ms = time_best_ms([&] {
+        auto y = conv.forward({&x}, false);
+        benchmark::DoNotOptimize(y.data());
+      });
+      r.gflops = 2.0 * r.m * r.k * r.n / (r.ms * 1e6);
+      records.push_back(r);
+    }
   }
+  tensor::set_backend(tensor::BackendKind::kSimd);
 
-  for (const int c : {16, 64}) {
-    nn::Conv2D conv(c, c, 3, 1);
-    nn::he_init_conv(conv.weight(), rng);
-    const auto x = tensor::Tensor::randn(tensor::Shape::chw(c, 16, 16), rng);
-    // im2col lowering: m = out_c, k = in_c*3*3, n = oh*ow.
-    KernelRecord r{"conv3x3", c, c * 9, 16 * 16};
-    r.ms = time_best_ms([&] {
-      auto y = conv.forward({&x}, false);
+  // End-to-end fp32 vs genuine integer inference on a conv-heavy zoo trunk,
+  // with the DeviceModel's analytical int8 term alongside the measured
+  // ratio (the model simulates an embedded GPU, so the two need not agree —
+  // the point is recording both for the validation story).
+  {
+    nn::Graph g = zoo::build_trunk(zoo::NetId::kResNet50, 32);
+    nn::init_graph(g, rng);
+    nn::Network net(quant::fold_batchnorm(g));
+    quant::QuantizedNetwork qnet(quant::fold_batchnorm(g));
+    const auto img0 = tensor::Tensor::randn(tensor::Shape::chw(3, 32, 32), rng, 0.5f);
+    const auto img1 = tensor::Tensor::randn(tensor::Shape::chw(3, 32, 32), rng, 0.5f);
+    qnet.calibrate({&img0, &img1});
+
+    KernelRecord fp{"forward_fp32_resnet50", 0, 0, 0};
+    fp.ms = time_best_ms([&] {
+      auto y = net.forward(img0);
       benchmark::DoNotOptimize(y.data());
     });
-    r.gflops = 2.0 * r.m * r.k * r.n / (r.ms * 1e6);
-    records.push_back(r);
+    records.push_back(fp);
+
+    KernelRecord q8{"forward_int8_resnet50", 0, 0, 0};
+    q8.ms = time_best_ms([&] {
+      auto y = qnet.forward_int8(img0);
+      benchmark::DoNotOptimize(y.data());
+    });
+    records.push_back(q8);
+
+    const double measured = q8.ms > 0.0 ? fp.ms / q8.ms : 0.0;
+    const double predicted = hw::DeviceModel().int8_speedup(net.graph(), /*fuse=*/true);
+    std::cout << "int8 e2e (resnet50@32): fp32 " << fp.ms << " ms, int8 " << q8.ms
+              << " ms, measured speedup " << measured << "x, device-model term "
+              << predicted << "x\n";
+    KernelRecord sp{"int8_speedup_resnet50", 0, 0, 0};
+    sp.gflops = measured;  // ratio, not a rate; kept in-schema for trending
+    sp.ms = predicted;
+    records.push_back(sp);
   }
 
   std::ofstream out(path);
@@ -217,7 +292,8 @@ int run_json_sweep(const std::string& path) {
   for (std::size_t i = 0; i < records.size(); ++i) {
     const KernelRecord& r = records[i];
     out << "  {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m << ", \"k\": " << r.k
-        << ", \"n\": " << r.n << ", \"gflops\": " << r.gflops << ", \"ms\": " << r.ms << "}"
+        << ", \"n\": " << r.n << ", \"gflops\": " << r.gflops << ", \"ms\": " << r.ms
+        << ", \"backend\": \"" << r.backend << "\"}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";

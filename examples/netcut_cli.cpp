@@ -18,6 +18,7 @@
 
 #include "core/estimator.hpp"
 #include "core/netcut.hpp"
+#include "tensor/backend.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -31,6 +32,7 @@ void usage() {
   std::printf(
       "usage: netcut_cli [--deadline MS] [--estimator profiler|analytical]\n"
       "                  [--net NAME ...] [--fast] [--cache-dir DIR]\n"
+      "                  [--backend scalar|simd]\n"
       "nets: ");
   for (auto id : netcut::zoo::all_nets())
     std::printf("%s ", netcut::zoo::net_name(id).c_str());
@@ -56,6 +58,11 @@ int run_cli(int argc, char** argv) {
       fast = true;
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       cache_dir = argv[++i];
+    } else if (arg == "--backend" && i + 1 < argc) {
+      // Force the kernel backend for this run, overriding both the default
+      // and NETCUT_BACKEND. parse_backend throws std::invalid_argument on an
+      // unknown name, which the top-level handler maps to exit 2.
+      tensor::set_backend(tensor::parse_backend(argv[++i]));
     } else if (arg == "--net" && i + 1 < argc) {
       const std::string want = argv[++i];
       bool found = false;

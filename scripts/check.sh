@@ -13,11 +13,16 @@
 # 4. serving layer (ctest -L serve): the batched-serving suite on its own,
 #    clean and again under the chaos schedule, then a --label-summary line
 #    with per-label pass counts
-# 5. AddressSanitizer (build-asan/): thread pool, memory planner and graph
-#    verifier tests — the subsystems that juggle raw lifetimes
-# 6. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
+# 5. kernel backends: the numerics-sensitive suites (ctest -L
+#    "kernels|layers|quant") once under NETCUT_BACKEND=scalar and once
+#    under NETCUT_BACKEND=simd — both dispatch tables must hold the same
+#    contracts on this machine
+# 6. AddressSanitizer (build-asan/): thread pool, memory planner, graph
+#    verifier and kernel-backend tests — the subsystems that juggle raw
+#    lifetimes plus the hand-packed AVX2/FMA panels
+# 7. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
 #    -fno-sanitize-recover=all, so any UB aborts the run
-# 7. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
+# 8. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
 #    has no clang-tidy)
 set -euo pipefail
 
@@ -44,36 +49,42 @@ label_summary() {
   done < <(ctest --test-dir build --print-labels | sed -n 's/^  //p')
 }
 
-echo "==> [1/7] configure + build (build/, -Werror)"
+echo "==> [1/8] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/7] ctest (full tier-1 suite)"
+echo "==> [2/8] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/7] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
+echo "==> [3/8] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [4/7] serving layer (ctest -L serve, clean + chaos)"
+echo "==> [4/8] serving layer (ctest -L serve, clean + chaos)"
 ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 label_summary
 
-echo "==> [5/7] ASan: thread pool + memory planner + verifier"
+echo "==> [5/8] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
+NETCUT_BACKEND=scalar \
+  ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
+NETCUT_BACKEND=simd \
+  ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
+
+echo "==> [6/8] ASan: thread pool + memory planner + verifier + kernel backends"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$(nproc)" \
-  --target test_util_threadpool test_nn_memplan test_nn_verify
-ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify' \
+  --target test_util_threadpool test_nn_memplan test_nn_verify test_tensor_backends
+ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify|Backends' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [6/7] UBSan: full tier-1 suite"
+echo "==> [7/8] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 
-echo "==> [7/7] clang-tidy"
+echo "==> [8/8] clang-tidy"
 ./scripts/tidy.sh
 
 echo "==> check passed"

@@ -122,4 +122,10 @@ double DeviceModel::network_latency_ms(const nn::Graph& graph, Precision precisi
   return total;
 }
 
+double DeviceModel::int8_speedup(const nn::Graph& graph, bool fuse, int batch) const {
+  const double fp32 = network_latency_ms(graph, Precision::kFp32, fuse, batch);
+  const double int8 = network_latency_ms(graph, Precision::kInt8, fuse, batch);
+  return int8 > 0.0 ? fp32 / int8 : 1.0;
+}
+
 }  // namespace netcut::hw

@@ -71,6 +71,13 @@ class DeviceModel {
   double network_latency_ms(const nn::Graph& graph, Precision precision, bool fuse,
                             int batch = 1) const;
 
+  /// Predicted end-to-end fp32/int8 latency ratio for the graph — the
+  /// model's int8 speedup term. The measured counterpart is the wall-clock
+  /// ratio of Network::forward to QuantizedNetwork::forward_int8; the kernel
+  /// benchmark and quant tests report both side by side so the analytical
+  /// term can be sanity-checked against real integer execution.
+  double int8_speedup(const nn::Graph& graph, bool fuse, int batch = 1) const;
+
   /// Which nodes are absorbed into their producer kernel under fusion
   /// (BatchNorm / ReLU / ReLU6 whose producer is a compute node and whose
   /// producer has no other consumer).

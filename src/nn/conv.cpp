@@ -83,7 +83,8 @@ void Conv2D::forward_into(const std::vector<const Tensor*>& in, Tensor& out, boo
   }
   tensor::im2col(x.data(), g, cols);
 
-  // W viewed as [out_c, k2]; cols is [k2, oh*ow].
+  // W viewed as [out_c, k2]; cols is [k2, oh*ow]. gemm (like every hot
+  // kernel here) dispatches through the active tensor::KernelBackend.
   tensor::gemm(weight_.data(), cols, out.data(), out_c_, k2, oh * ow);
   if (has_bias_) {
     const std::size_t hw = static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);

@@ -29,6 +29,7 @@ class Pool2D final : public Layer {
   Mode mode() const { return mode_; }
   int kernel() const { return kernel_; }
   int stride() const { return stride_; }
+  int pad() const { return pad_; }
 
  private:
   Mode mode_;

@@ -1,31 +1,122 @@
 #include "quant/qnetwork.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
+#include "nn/pooling.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 
 namespace netcut::quant {
 
+namespace {
+
+/// Offsets inside the int8 arena are handed out 64-byte aligned so the i32
+/// accumulator region is naturally aligned and GEMM panels start on cache
+/// lines.
+std::size_t align64(std::size_t bytes) { return (bytes + 63) & ~std::size_t{63}; }
+
+/// Per-output-channel sums of the int8 weights. Folding the activation zero
+/// point through these is exact: sum (a - zp) * w == sum a*w - zp * sum w
+/// in integer arithmetic, so the raw-product s8u8 GEMM loses nothing.
+std::vector<std::int32_t> weight_rowsums(const ChannelQuant& qw, int out_channels) {
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(out_channels), 0);
+  const std::size_t per = qw.values.size() / static_cast<std::size_t>(out_channels);
+  for (int o = 0; o < out_channels; ++o) {
+    const std::int8_t* row = qw.values.data() + static_cast<std::size_t>(o) * per;
+    std::int32_t s = 0;
+    for (std::size_t i = 0; i < per; ++i) s += row[i];
+    sums[static_cast<std::size_t>(o)] = s;
+  }
+  return sums;
+}
+
+tensor::ConvGeometry conv_geometry(const nn::Conv2D& conv, const tensor::Shape& in) {
+  tensor::ConvGeometry geo;
+  geo.in_c = in[0];
+  geo.in_h = in[1];
+  geo.in_w = in[2];
+  geo.kernel_h = conv.kernel_h();
+  geo.kernel_w = conv.kernel_w();
+  geo.stride = conv.stride();
+  geo.pad_h = conv.pad_h();
+  geo.pad_w = conv.pad_w();
+  return geo;
+}
+
+/// Requantize raw s8u8 accumulators into the node's uint8 activation slot:
+/// float = (acc - zp * rowsum) * (w_scale * in_scale) + bias.
+void requantize_rows(const std::int32_t* acc, int rows, int cols, const ChannelQuant& qw,
+                     const std::vector<std::int32_t>& rowsums, const QuantParams& in_p,
+                     const float* bias, const QuantParams& out_p, std::uint8_t* out) {
+  for (int o = 0; o < rows; ++o) {
+    const float requant = qw.scales[static_cast<std::size_t>(o)] * in_p.scale;
+    const std::int32_t fold = in_p.zero_point * rowsums[static_cast<std::size_t>(o)];
+    const float b = bias ? bias[o] : 0.0f;
+    const std::int32_t* arow = acc + static_cast<std::int64_t>(o) * cols;
+    std::uint8_t* orow = out + static_cast<std::int64_t>(o) * cols;
+    for (int j = 0; j < cols; ++j)
+      orow[j] = quantize_value(static_cast<float>(arow[j] - fold) * requant + b, out_p);
+  }
+}
+
+/// 256-entry uint8 -> uint8 requantization table for `f` applied in float.
+template <typename F>
+std::array<std::uint8_t, 256> requant_lut(const QuantParams& in_p, const QuantParams& out_p,
+                                          F&& f) {
+  std::array<std::uint8_t, 256> lut{};
+  for (int v = 0; v < 256; ++v)
+    lut[static_cast<std::size_t>(v)] =
+        quantize_value(f(dequantize_value(static_cast<std::uint8_t>(v), in_p)), out_p);
+  return lut;
+}
+
+}  // namespace
+
 QuantizedNetwork::QuantizedNetwork(nn::Graph fused_graph) : net_(std::move(fused_graph)) {
   // Round-trip every conv/dense weight through per-channel int8 now; the
-  // information loss is baked into the stored weights.
+  // information loss is baked into the stored weights, and the integer form
+  // (values + per-channel rowsums) is kept for forward_int8. Quantizing the
+  // restored weights is idempotent, so the stored int8 values are exactly
+  // what int8_conv2d / int8_dense would re-derive.
   for (int id = 1; id < net_.graph().node_count(); ++id) {
     nn::Layer& layer = *net_.graph().node(id).layer;
     tensor::Tensor* w = nullptr;
+    int out_channels = 0;
     switch (layer.kind()) {
-      case nn::LayerKind::kConv2D: w = &static_cast<nn::Conv2D&>(layer).weight(); break;
-      case nn::LayerKind::kDepthwiseConv2D:
-        w = &static_cast<nn::DepthwiseConv2D&>(layer).weight();
+      case nn::LayerKind::kConv2D: {
+        auto& conv = static_cast<nn::Conv2D&>(layer);
+        w = &conv.weight();
+        out_channels = conv.out_channels();
         break;
-      case nn::LayerKind::kDense: w = &static_cast<nn::Dense&>(layer).weight(); break;
+      }
+      case nn::LayerKind::kDepthwiseConv2D: {
+        auto& conv = static_cast<nn::DepthwiseConv2D&>(layer);
+        w = &conv.weight();
+        out_channels = conv.channels();
+        break;
+      }
+      case nn::LayerKind::kDense: {
+        auto& dense = static_cast<nn::Dense&>(layer);
+        w = &dense.weight();
+        out_channels = dense.out_features();
+        break;
+      }
       default: break;
     }
     if (!w) continue;
-    const ChannelQuant q = quantize_weights_per_channel(*w);
+    ChannelQuant q = quantize_weights_per_channel(*w);
     const tensor::Tensor restored = dequantize_weights(q, w->shape());
     max_weight_error_ = std::max(max_weight_error_, tensor::max_abs_diff(*w, restored));
     *w = restored;
+    if (layer.kind() != nn::LayerKind::kDepthwiseConv2D) {
+      NodeWeights nw;
+      nw.rowsums = weight_rowsums(q, out_channels);
+      nw.qw = std::move(q);
+      node_weights_.emplace(id, std::move(nw));
+    }
   }
 }
 
@@ -53,55 +144,238 @@ tensor::Tensor QuantizedNetwork::forward(const tensor::Tensor& input) {
   return acts[static_cast<std::size_t>(n - 1)];
 }
 
+void QuantizedNetwork::plan_int8(const tensor::Shape& in_shape) {
+  nn::Graph& g = net_.graph();
+  const int n = g.node_count();
+  Int8Plan plan;
+  plan.in_shape = in_shape;
+  plan.shapes.resize(static_cast<std::size_t>(n));
+  plan.act_offsets.resize(static_cast<std::size_t>(n));
+  plan.shapes[0] = in_shape;
+
+  std::size_t bytes = 0;
+  std::size_t cols_bytes = 0;
+  std::size_t acc_bytes = 0;
+  for (int id = 0; id < n; ++id) {
+    if (id > 0) {
+      const nn::Node& nd = g.node(id);
+      std::vector<tensor::Shape> in;
+      in.reserve(nd.inputs.size());
+      for (int src : nd.inputs) in.push_back(plan.shapes[static_cast<std::size_t>(src)]);
+      plan.shapes[static_cast<std::size_t>(id)] = nd.layer->output_shape(in);
+    }
+    plan.act_offsets[static_cast<std::size_t>(id)] = bytes;
+    bytes += align64(static_cast<std::size_t>(plan.shapes[static_cast<std::size_t>(id)].numel()));
+
+    const nn::Node& nd = g.node(id);
+    if (id > 0 && nd.layer->kind() == nn::LayerKind::kConv2D) {
+      const auto& conv = static_cast<const nn::Conv2D&>(*nd.layer);
+      const tensor::ConvGeometry geo =
+          conv_geometry(conv, plan.shapes[static_cast<std::size_t>(nd.inputs[0])]);
+      const std::size_t pixels =
+          static_cast<std::size_t>(geo.out_h()) * static_cast<std::size_t>(geo.out_w());
+      cols_bytes = std::max(
+          cols_bytes, static_cast<std::size_t>(geo.in_c) * static_cast<std::size_t>(geo.patch()) *
+                          pixels);
+      acc_bytes = std::max(acc_bytes,
+                           static_cast<std::size_t>(conv.out_channels()) * pixels * sizeof(std::int32_t));
+    } else if (id > 0 && nd.layer->kind() == nn::LayerKind::kDense) {
+      const auto& dense = static_cast<const nn::Dense&>(*nd.layer);
+      acc_bytes =
+          std::max(acc_bytes, static_cast<std::size_t>(dense.out_features()) * sizeof(std::int32_t));
+    }
+  }
+  plan.cols_offset = bytes;
+  bytes += align64(cols_bytes);
+  plan.acc_offset = bytes;
+  bytes += align64(acc_bytes);
+  plan.total_floats = (bytes + sizeof(float) - 1) / sizeof(float);
+
+  int8_arena_.reserve(plan.total_floats);
+  int8_plan_ = std::move(plan);
+}
+
+tensor::Tensor QuantizedNetwork::forward_int8(const tensor::Tensor& input) {
+  if (!calibrated()) throw std::logic_error("QuantizedNetwork: calibrate first");
+  if (int8_plan_.shapes.empty() || !(int8_plan_.in_shape == input.shape()))
+    plan_int8(input.shape());
+  const Int8Plan& plan = int8_plan_;
+
+  nn::Graph& g = net_.graph();
+  const int n = g.node_count();
+  std::uint8_t* base = reinterpret_cast<std::uint8_t*>(int8_arena_.slot(0));
+  const auto act = [&](int id) { return base + plan.act_offsets[static_cast<std::size_t>(id)]; };
+  const auto numel = [&](int id) {
+    return static_cast<std::size_t>(plan.shapes[static_cast<std::size_t>(id)].numel());
+  };
+
+  // Input node: quantize once with the calibrated input params.
+  {
+    const QuantParams& p0 = scales_.at(0);
+    const float* x = input.data();
+    std::uint8_t* q = act(0);
+    const std::size_t count = numel(0);
+    for (std::size_t i = 0; i < count; ++i) q[i] = quantize_value(x[i], p0);
+  }
+
+  for (int id = 1; id < n; ++id) {
+    const nn::Node& nd = g.node(id);
+    const int src0 = nd.inputs.empty() ? 0 : nd.inputs[0];
+    const QuantParams& in_p = scales_.at(src0);
+    const QuantParams& out_p = scales_.at(id);
+    const tensor::Shape& in_shape = plan.shapes[static_cast<std::size_t>(src0)];
+
+    switch (nd.layer->kind()) {
+      case nn::LayerKind::kConv2D: {
+        const auto& conv = static_cast<const nn::Conv2D&>(*nd.layer);
+        const NodeWeights& nw = node_weights_.at(id);
+        const tensor::ConvGeometry geo = conv_geometry(conv, in_shape);
+        const int pixels = geo.out_h() * geo.out_w();
+        const int patch_k = geo.in_c * geo.patch();
+        std::uint8_t* cols = base + plan.cols_offset;
+        auto* acc = reinterpret_cast<std::int32_t*>(base + plan.acc_offset);
+        tensor::im2col_u8(act(src0), geo, cols,
+                          static_cast<std::uint8_t>(in_p.zero_point));
+        tensor::gemm_s8u8(nw.qw.values.data(), cols, acc, conv.out_channels(), patch_k,
+                          pixels);
+        requantize_rows(acc, conv.out_channels(), pixels, nw.qw, nw.rowsums, in_p,
+                        conv.has_bias() ? conv.bias().data() : nullptr, out_p, act(id));
+        break;
+      }
+      case nn::LayerKind::kDense: {
+        const auto& dense = static_cast<const nn::Dense&>(*nd.layer);
+        const NodeWeights& nw = node_weights_.at(id);
+        auto* acc = reinterpret_cast<std::int32_t*>(base + plan.acc_offset);
+        tensor::gemm_s8u8(nw.qw.values.data(), act(src0), acc, dense.out_features(),
+                          dense.in_features(), 1);
+        requantize_rows(acc, dense.out_features(), 1, nw.qw, nw.rowsums, in_p,
+                        dense.has_bias() ? dense.bias().data() : nullptr, out_p, act(id));
+        break;
+      }
+      case nn::LayerKind::kReLU:
+      case nn::LayerKind::kReLU6: {
+        const bool clip6 = nd.layer->kind() == nn::LayerKind::kReLU6;
+        const auto lut = requant_lut(in_p, out_p, [clip6](float v) {
+          v = std::max(v, 0.0f);
+          return clip6 ? std::min(v, 6.0f) : v;
+        });
+        const std::uint8_t* x = act(src0);
+        std::uint8_t* y = act(id);
+        const std::size_t count = numel(id);
+        for (std::size_t i = 0; i < count; ++i) y[i] = lut[x[i]];
+        break;
+      }
+      case nn::LayerKind::kFlatten: {
+        // Pure relabeling of the same elements; only the calibrated scale
+        // changes between the two node outputs.
+        const auto lut = requant_lut(in_p, out_p, [](float v) { return v; });
+        const std::uint8_t* x = act(src0);
+        std::uint8_t* y = act(id);
+        const std::size_t count = numel(id);
+        for (std::size_t i = 0; i < count; ++i) y[i] = lut[x[i]];
+        break;
+      }
+      case nn::LayerKind::kMaxPool: {
+        // uint8 max commutes with dequantization (the affine map is
+        // monotonic), so pool in the quantized domain and requantize the
+        // winners. Window clamping mirrors Pool2D::forward_into.
+        const auto& pool = static_cast<const nn::Pool2D&>(*nd.layer);
+        const auto lut = requant_lut(in_p, out_p, [](float v) { return v; });
+        const tensor::Shape& os = plan.shapes[static_cast<std::size_t>(id)];
+        const int C = in_shape[0], ih = in_shape[1], iw = in_shape[2];
+        const int oh = os[1], ow = os[2];
+        const int kk = pool.kernel(), st = pool.stride(), pd = pool.pad();
+        const std::uint8_t* x = act(src0);
+        std::uint8_t* y = act(id);
+        for (int c = 0; c < C; ++c) {
+          const std::uint8_t* chan = x + static_cast<std::int64_t>(c) * ih * iw;
+          std::uint8_t* dst = y + static_cast<std::int64_t>(c) * oh * ow;
+          for (int yo = 0; yo < oh; ++yo) {
+            const int y0 = std::max(0, yo * st - pd);
+            const int y1 = std::min(ih, yo * st - pd + kk);
+            for (int xo = 0; xo < ow; ++xo) {
+              const int x0 = std::max(0, xo * st - pd);
+              const int x1 = std::min(iw, xo * st - pd + kk);
+              std::uint8_t best = 0;
+              for (int yy = y0; yy < y1; ++yy)
+                for (int xx = x0; xx < x1; ++xx)
+                  best = std::max(best, chan[yy * iw + xx]);
+              dst[yo * ow + xo] = lut[best];
+            }
+          }
+        }
+        break;
+      }
+      default: {
+        // Fallback for kinds without a dedicated integer kernel (depthwise,
+        // BatchNorm, Add, Concat, pooling averages, Softmax): dequantize the
+        // inputs, run the float layer, requantize the output. Heap
+        // allocation here mirrors the naive float path; the hot conv/dense
+        // nodes above never take it.
+        std::vector<tensor::Tensor> fin;
+        fin.reserve(nd.inputs.size());
+        for (int src : nd.inputs) {
+          const QuantParams& p = scales_.at(src);
+          tensor::Tensor t(plan.shapes[static_cast<std::size_t>(src)]);
+          const std::uint8_t* qd = act(src);
+          float* fd = t.data();
+          const std::size_t count = static_cast<std::size_t>(t.numel());
+          for (std::size_t i = 0; i < count; ++i) fd[i] = dequantize_value(qd[i], p);
+          fin.push_back(std::move(t));
+        }
+        std::vector<const tensor::Tensor*> fin_ptrs;
+        fin_ptrs.reserve(fin.size());
+        for (const tensor::Tensor& t : fin) fin_ptrs.push_back(&t);
+        const tensor::Tensor fy = nd.layer->forward(fin_ptrs, false);
+        const float* fd = fy.data();
+        std::uint8_t* y = act(id);
+        const std::size_t count = numel(id);
+        for (std::size_t i = 0; i < count; ++i) y[i] = quantize_value(fd[i], out_p);
+        break;
+      }
+    }
+  }
+
+  const int out_id = n - 1;
+  const QuantParams& out_p = scales_.at(out_id);
+  tensor::Tensor out(plan.shapes[static_cast<std::size_t>(out_id)]);
+  const std::uint8_t* q = act(out_id);
+  float* f = out.data();
+  const std::size_t count = static_cast<std::size_t>(out.numel());
+  for (std::size_t i = 0; i < count; ++i) f[i] = dequantize_value(q[i], out_p);
+  return out;
+}
+
 tensor::Tensor int8_conv2d(const nn::Conv2D& conv, const tensor::Tensor& input,
                            const QuantParams& in_params) {
   const std::vector<std::uint8_t> qin = quantize_tensor(input, in_params);
   const ChannelQuant qw = quantize_weights_per_channel(conv.weight());
 
-  tensor::ConvGeometry geo;
-  geo.in_c = input.shape()[0];
-  geo.in_h = input.shape()[1];
-  geo.in_w = input.shape()[2];
-  geo.kernel_h = conv.kernel_h();
-  geo.kernel_w = conv.kernel_w();
-  geo.stride = conv.stride();
-  geo.pad_h = conv.pad_h();
-  geo.pad_w = conv.pad_w();
-  const int oh = geo.out_h();
-  const int ow = geo.out_w();
+  const tensor::ConvGeometry geo = conv_geometry(conv, input.shape());
+  const int pixels = geo.out_h() * geo.out_w();
   const int O = conv.out_channels();
-  const int I = geo.in_c;
-  const int kh = geo.kernel_h, kw = geo.kernel_w;
+  const int K = geo.in_c * geo.patch();
 
-  tensor::Tensor y(tensor::Shape::chw(O, oh, ow));
-  // Integer accumulation with the zero-point folded in: for padding to be
-  // exact, out-of-bounds taps contribute the zero-point (i.e. real 0).
+  // Lower to im2col over the quantized image (out-of-bounds taps filled with
+  // the zero point, i.e. real 0) and one backend s8u8 GEMM; the zero point
+  // folds out of the raw accumulators through the per-channel weight sums.
+  std::vector<std::uint8_t> cols(static_cast<std::size_t>(K) *
+                                 static_cast<std::size_t>(pixels));
+  tensor::im2col_u8(qin.data(), geo, cols.data(),
+                    static_cast<std::uint8_t>(in_params.zero_point));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(O) * static_cast<std::size_t>(pixels));
+  tensor::gemm_s8u8(qw.values.data(), cols.data(), acc.data(), O, K, pixels);
+
+  const std::vector<std::int32_t> rowsums = weight_rowsums(qw, O);
+  tensor::Tensor y(tensor::Shape::chw(O, geo.out_h(), geo.out_w()));
   for (int o = 0; o < O; ++o) {
-    const std::int8_t* w = qw.values.data() + static_cast<std::int64_t>(o) * I * kh * kw;
     const float requant = qw.scales[static_cast<std::size_t>(o)] * in_params.scale;
+    const std::int32_t fold = in_params.zero_point * rowsums[static_cast<std::size_t>(o)];
     const float bias = conv.has_bias() ? conv.bias()[o] : 0.0f;
-    for (int yo = 0; yo < oh; ++yo) {
-      for (int xo = 0; xo < ow; ++xo) {
-        std::int32_t acc = 0;
-        for (int i = 0; i < I; ++i) {
-          const std::uint8_t* chan =
-              qin.data() + static_cast<std::int64_t>(i) * geo.in_h * geo.in_w;
-          const std::int8_t* wk = w + static_cast<std::int64_t>(i) * kh * kw;
-          for (int r = 0; r < kh; ++r) {
-            const int iy = yo * geo.stride + r - geo.pad_h;
-            for (int s = 0; s < kw; ++s) {
-              const int ix = xo * geo.stride + s - geo.pad_w;
-              const std::int32_t a =
-                  (iy >= 0 && iy < geo.in_h && ix >= 0 && ix < geo.in_w)
-                      ? static_cast<std::int32_t>(chan[iy * geo.in_w + ix])
-                      : in_params.zero_point;
-              acc += (a - in_params.zero_point) * static_cast<std::int32_t>(wk[r * kw + s]);
-            }
-          }
-        }
-        y.at(o, yo, xo) = static_cast<float>(acc) * requant + bias;
-      }
-    }
+    const std::int32_t* arow = acc.data() + static_cast<std::int64_t>(o) * pixels;
+    float* yrow = y.data() + static_cast<std::int64_t>(o) * pixels;
+    for (int j = 0; j < pixels; ++j)
+      yrow[j] = static_cast<float>(arow[j] - fold) * requant + bias;
   }
   return y;
 }
@@ -113,16 +387,15 @@ tensor::Tensor int8_dense(const nn::Dense& dense, const tensor::Tensor& input,
   const int O = dense.out_features();
   const int I = dense.in_features();
 
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(O));
+  tensor::gemm_s8u8(qw.values.data(), qin.data(), acc.data(), O, I, 1);
+  const std::vector<std::int32_t> rowsums = weight_rowsums(qw, O);
+
   tensor::Tensor y(tensor::Shape::vec(O));
   for (int o = 0; o < O; ++o) {
-    const std::int8_t* w = qw.values.data() + static_cast<std::int64_t>(o) * I;
-    std::int32_t acc = 0;
-    for (int i = 0; i < I; ++i)
-      acc += (static_cast<std::int32_t>(qin[static_cast<std::size_t>(i)]) -
-              in_params.zero_point) *
-             static_cast<std::int32_t>(w[i]);
-    y[o] = static_cast<float>(acc) * qw.scales[static_cast<std::size_t>(o)] *
-               in_params.scale +
+    const std::int32_t fold = in_params.zero_point * rowsums[static_cast<std::size_t>(o)];
+    y[o] = static_cast<float>(acc[static_cast<std::size_t>(o)] - fold) *
+               qw.scales[static_cast<std::size_t>(o)] * in_params.scale +
            (dense.has_bias() ? dense.bias()[o] : 0.0f);
   }
   return y;

@@ -1,0 +1,58 @@
+#include "tensor/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace netcut::tensor {
+
+namespace {
+
+const KernelBackend& backend_for(BackendKind kind) {
+  return kind == BackendKind::kScalar ? scalar_backend() : simd_backend();
+}
+
+// Resolved backend pointer. A relaxed racy first read is benign: every
+// racer resolves the same environment to the same table.
+std::atomic<const KernelBackend*> g_active{nullptr};
+
+const KernelBackend* resolve_from_env() {
+  if (const char* env = std::getenv("NETCUT_BACKEND")) {
+    if (*env != '\0') return &backend_for(parse_backend(env));
+  }
+  return &simd_backend();
+}
+
+}  // namespace
+
+BackendKind parse_backend(const char* s) {
+  if (std::strcmp(s, "scalar") == 0) return BackendKind::kScalar;
+  if (std::strcmp(s, "simd") == 0) return BackendKind::kSimd;
+  throw std::invalid_argument("NETCUT_BACKEND: unknown backend '" + std::string(s) +
+                              "' (expected scalar|simd)");
+}
+
+const char* backend_name(BackendKind kind) {
+  return kind == BackendKind::kScalar ? "scalar" : "simd";
+}
+
+const KernelBackend& active_backend() {
+  const KernelBackend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    b = resolve_from_env();
+    g_active.store(b, std::memory_order_release);
+  }
+  return *b;
+}
+
+BackendKind active_backend_kind() {
+  return &active_backend() == &scalar_backend() ? BackendKind::kScalar : BackendKind::kSimd;
+}
+
+void set_backend(BackendKind kind) {
+  g_active.store(&backend_for(kind), std::memory_order_release);
+}
+
+}  // namespace netcut::tensor

@@ -1,0 +1,63 @@
+// Kernel backend dispatch: every GEMM-shaped hot kernel in the repo routes
+// through a function table selected once at startup. Two backends exist:
+//
+//  * scalar — the register-tiled reference kernels (PR 1/2), kept verbatim
+//    as the correctness oracle. fp32 comparisons against it are
+//    ULP-tolerance (FMA and lane reductions legally change bits); int8
+//    comparisons are bit-exact (integer sums are associative).
+//  * simd   — packed-panel microkernels: AVX2/FMA intrinsics when the CPU
+//    reports avx2+fma at runtime (function-multiversioned, no global ISA
+//    flags), a portable `#pragma omp simd` register-tile otherwise.
+//
+// Selection: cpuid-driven default (simd everywhere — the portable tile is
+// its own fallback), overridden by NETCUT_BACKEND=scalar|simd, overridden
+// again by set_backend() (tests and netcut_cli --backend). The table is a
+// process-wide atomic pointer: swap is a setup-time API and must not race
+// with in-flight kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace netcut::tensor {
+
+enum class BackendKind { kScalar, kSimd };
+
+/// Function table for the hot kernels. fp32 entries match the free-function
+/// contracts in gemm.hpp; the int8 entry computes raw products
+/// C[i32, MxN] = A[s8, MxK] * B[u8, KxN] with no zero-point handling (the
+/// caller folds zero points via per-row weight sums, which is exact in
+/// integer arithmetic).
+struct KernelBackend {
+  const char* name = "?";
+  void (*gemm)(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate) = nullptr;
+  void (*gemv)(const float* a, const float* x, float* y, int m, int n) = nullptr;
+  void (*gemv_t)(const float* a, const float* x, float* y, int m, int n) = nullptr;
+  void (*gemm_s8u8)(const std::int8_t* a, const std::uint8_t* b, std::int32_t* c, int m,
+                    int k, int n) = nullptr;
+};
+
+const KernelBackend& scalar_backend();
+const KernelBackend& simd_backend();
+
+/// The backend all kernels dispatch through. First call resolves
+/// NETCUT_BACKEND (throws std::invalid_argument on an unknown value);
+/// default is the simd backend.
+const KernelBackend& active_backend();
+BackendKind active_backend_kind();
+
+/// Force a backend (overrides the environment). Setup-time only: callers
+/// guarantee no kernel is in flight on another thread.
+void set_backend(BackendKind kind);
+
+/// "scalar" -> kScalar, "simd" -> kSimd; throws std::invalid_argument
+/// otherwise (netcut_cli maps that to its bad-arguments exit code).
+BackendKind parse_backend(const char* s);
+
+const char* backend_name(BackendKind kind);
+
+/// Which implementation the simd backend dispatches to on this machine:
+/// "avx2" (CPU reports avx2+fma) or "portable".
+const char* simd_isa();
+
+}  // namespace netcut::tensor

@@ -1,5 +1,7 @@
-// Single-precision GEMM kernels. All convolutions and dense layers lower to
-// these via im2col, so this is the hot loop of the whole repository.
+// GEMM kernels. All convolutions and dense layers lower to these via
+// im2col, so this is the hot loop of the whole repository. Every entry
+// point dispatches through the active KernelBackend (tensor/backend.hpp):
+// scalar reference or packed simd, selected at startup (NETCUT_BACKEND).
 #pragma once
 
 #include <cstdint>
@@ -23,5 +25,12 @@ void gemv(const float* a, const float* x, float* y, int m, int n);
 
 /// y[N] = A^T[MxN] * x[M]
 void gemv_t(const float* a, const float* x, float* y, int m, int n);
+
+/// Integer GEMM for the quantized inference path:
+/// C[i32, MxN] = A[s8, MxK] * B[u8, KxN], raw products with no zero-point
+/// handling (callers fold the activation zero point via per-row weight
+/// sums, which is exact in integer arithmetic). Bit-exact across backends.
+void gemm_s8u8(const std::int8_t* a, const std::uint8_t* b, std::int32_t* c, int m, int k,
+               int n);
 
 }  // namespace netcut::tensor

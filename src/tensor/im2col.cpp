@@ -63,6 +63,33 @@ void col2im_channels(const float* cols, const ConvGeometry& g, float* img, std::
   }
 }
 
+void im2col_u8_channels(const std::uint8_t* img, const ConvGeometry& g, std::uint8_t* cols,
+                        std::uint8_t zero_point, std::int64_t c0, std::int64_t c1) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int patch = g.patch();
+  for (std::int64_t c = c0; c < c1; ++c) {
+    const std::uint8_t* chan = img + c * g.in_h * g.in_w;
+    for (int p = 0; p < patch; ++p) {
+      const int kh = p / g.kernel_w;
+      const int kw = p % g.kernel_w;
+      std::uint8_t* row = cols + (c * patch + p) * oh * ow;
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * g.stride + kh - g.pad_h;
+        if (iy < 0 || iy >= g.in_h) {
+          for (int x = 0; x < ow; ++x) row[y * ow + x] = zero_point;
+          continue;
+        }
+        const std::uint8_t* src = chan + static_cast<std::int64_t>(iy) * g.in_w;
+        for (int x = 0; x < ow; ++x) {
+          const int ix = x * g.stride + kw - g.pad_w;
+          row[y * ow + x] = (ix >= 0 && ix < g.in_w) ? src[ix] : zero_point;
+        }
+      }
+    }
+  }
+}
+
 std::int64_t channel_grain(const ConvGeometry& g) {
   const std::int64_t per_channel =
       static_cast<std::int64_t>(g.patch()) * g.out_h() * g.out_w();
@@ -82,6 +109,18 @@ void im2col(const float* img, const ConvGeometry& g, float* cols) {
   }
   util::parallel_for(0, g.in_c, channel_grain(g), [&](std::int64_t c0, std::int64_t c1) {
     im2col_channels(img, g, cols, c0, c1);
+  });
+}
+
+void im2col_u8(const std::uint8_t* img, const ConvGeometry& g, std::uint8_t* cols,
+               std::uint8_t zero_point) {
+  const std::int64_t work = static_cast<std::int64_t>(g.in_c) * g.patch() * g.out_h() * g.out_w();
+  if (work < kParallelElemCutoff) {
+    im2col_u8_channels(img, g, cols, zero_point, 0, g.in_c);
+    return;
+  }
+  util::parallel_for(0, g.in_c, channel_grain(g), [&](std::int64_t c0, std::int64_t c1) {
+    im2col_u8_channels(img, g, cols, zero_point, c0, c1);
   });
 }
 

@@ -27,4 +27,11 @@ void im2col(const float* img, const ConvGeometry& g, float* cols);
 /// img must be zero-initialized by the caller.
 void col2im(const float* cols, const ConvGeometry& g, float* img);
 
+/// im2col over a quantized uint8 image for the integer inference path.
+/// Out-of-bounds taps are filled with `zero_point` — the quantized encoding
+/// of real 0 — so the s8u8 GEMM treats padding exactly like the float
+/// kernel treats zero padding.
+void im2col_u8(const std::uint8_t* img, const ConvGeometry& g, std::uint8_t* cols,
+               std::uint8_t zero_point);
+
 }  // namespace netcut::tensor

@@ -43,6 +43,22 @@ TEST(CliExitCodes, UnknownFlagExitsTwo) {
   EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
 }
 
+TEST(CliExitCodes, UnknownBackendExitsTwo) {
+  const auto r = testing::run_command(cli("--backend avx9000"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown backend"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, ValidBackendIsAccepted) {
+  // --backend scalar must parse cleanly; pair it with an infeasible
+  // deadline so the run stays on the cheap sweep path (exit 1, not 2).
+  const auto r = testing::run_command(
+      cli("--backend scalar --deadline 0.000001 --fast --net MobileNetV1-0.25"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 1);
+}
+
 TEST(CliExitCodes, UnknownNetworkExitsTwo) {
   const auto r = testing::run_command(cli("--net NoSuchNet-9.99"));
   EXPECT_FALSE(r.signalled);

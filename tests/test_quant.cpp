@@ -2,6 +2,7 @@
 // integer kernels vs the float reference.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "data/hands.hpp"
@@ -16,6 +17,8 @@
 #include "quant/fusion.hpp"
 #include "quant/qnetwork.hpp"
 #include "quant/quantize.hpp"
+#include "hw/device.hpp"
+#include "tensor/backend.hpp"
 #include "util/rng.hpp"
 #include "zoo/zoo.hpp"
 
@@ -213,6 +216,149 @@ TEST(Int8Kernels, DenseMatchesFloatReference) {
 
   const Tensor got = int8_dense(dense, x, in_p);
   EXPECT_LT(tensor::max_abs_diff(want, got), 1e-4f);
+}
+
+TEST(Calibrate, EmptyImageSetThrows) {
+  util::Rng rng(20);
+  nn::Graph g;
+  int x = g.add_input(Shape::chw(1, 4, 4));
+  auto conv = std::make_unique<nn::Conv2D>(1, 2, 3, 1);
+  nn::he_init_conv(conv->weight(), rng);
+  g.add(std::move(conv), {x}, "conv");
+  nn::Network net(std::move(g));
+  EXPECT_THROW(calibrate_activations(net, {}), std::invalid_argument);
+}
+
+TEST(Calibrate, SingleImageSetWorks) {
+  util::Rng rng(21);
+  nn::Graph g;
+  int x = g.add_input(Shape::chw(1, 4, 4));
+  auto conv = std::make_unique<nn::Conv2D>(1, 2, 3, 1);
+  nn::he_init_conv(conv->weight(), rng);
+  g.add(std::move(conv), {x}, "conv");
+
+  QuantizedNetwork qnet(std::move(g));
+  const Tensor img = Tensor::randn(Shape::chw(1, 4, 4), rng);
+  qnet.calibrate({&img});
+  ASSERT_TRUE(qnet.calibrated());
+  for (const auto& [id, p] : qnet.scales()) EXPECT_GT(p.scale, 0.0f) << "node " << id;
+  // Both execution paths must run off a one-image calibration.
+  const Tensor ys = qnet.forward(img);
+  const Tensor yi = qnet.forward_int8(img);
+  EXPECT_EQ(ys.shape(), yi.shape());
+}
+
+TEST(ChannelQuant, AllZeroChannelGetsSafeScale) {
+  Tensor w(Shape{3, 4});  // [O, I] dense-style weight
+  for (int i = 0; i < 4; ++i) {
+    w[0 * 4 + i] = 0.0f;  // channel 0: all zeros — must not divide by zero
+    w[1 * 4 + i] = 0.5f * static_cast<float>(i + 1);
+    w[2 * 4 + i] = -1.0f;
+  }
+  const ChannelQuant q = quantize_weights_per_channel(w);
+  EXPECT_FLOAT_EQ(q.scales[0], 1.0f);  // amax==0 guard (scale stays finite)
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.values[static_cast<std::size_t>(i)], 0);
+  const Tensor restored = dequantize_weights(q, w.shape());
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(restored[0 * 4 + i], 0.0f);
+}
+
+TEST(Int8Kernels, OddKShapesMatchReference) {
+  // K = in_c * kh * kw lands off every vector width here (K = 5 for conv,
+  // K = 17 for dense); exercises the packed kernel's K remainder path.
+  util::Rng rng(22);
+  nn::Conv2D conv(5, 3, 1, 1);
+  nn::he_init_conv(conv.weight(), rng);
+  const Tensor x = Tensor::uniform(Shape::chw(5, 6, 6), rng, -1.0f, 1.0f);
+  const QuantParams in_p = QuantParams::from_range(-1.0f, 1.0f);
+  nn::Conv2D cref = conv;
+  cref.weight() = dequantize_weights(quantize_weights_per_channel(conv.weight()),
+                                     conv.weight().shape());
+  const Tensor xq = fake_quantize(x, in_p);
+  EXPECT_LT(tensor::max_abs_diff(cref.forward({&xq}, false), int8_conv2d(conv, x, in_p)),
+            1e-3f);
+
+  nn::Dense dense(17, 3);
+  nn::xavier_init_dense(dense.weight(), rng);
+  const Tensor v = Tensor::uniform(Shape::vec(17), rng, 0.0f, 2.0f);
+  const QuantParams vp = QuantParams::from_range(0.0f, 2.0f);
+  nn::Dense dref = dense;
+  dref.weight() = dequantize_weights(quantize_weights_per_channel(dense.weight()),
+                                     dense.weight().shape());
+  const Tensor vq = fake_quantize(v, vp);
+  EXPECT_LT(tensor::max_abs_diff(dref.forward({&vq}, false), int8_dense(dense, v, vp)),
+            1e-4f);
+}
+
+TEST(QuantizedNetwork, ForwardInt8TracksSimulatedForwardOnZooTrunk) {
+  util::Rng rng(23);
+  nn::Graph g = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 24);
+  nn::init_graph(g, rng);
+  QuantizedNetwork qnet(fold_batchnorm(g));
+
+  std::vector<Tensor> imgs;
+  for (int i = 0; i < 4; ++i) imgs.push_back(Tensor::randn(Shape::chw(3, 24, 24), rng, 0.5f));
+  std::vector<const Tensor*> ptrs;
+  for (const auto& t : imgs) ptrs.push_back(&t);
+  qnet.calibrate(ptrs);
+
+  const Tensor ys = qnet.forward(imgs[0]);
+  const Tensor yi = qnet.forward_int8(imgs[0]);
+  ASSERT_EQ(ys.shape(), yi.shape());
+  // Same weights, same calibrated grids; the two paths differ only in where
+  // requantization rounding lands, so they track within a small fraction of
+  // the output range.
+  const float range = std::max(std::abs(ys.max()), std::abs(ys.min()));
+  EXPECT_LT(tensor::max_abs_diff(ys, yi), 0.15f * range + 0.05f);
+
+  // Steady-state integer passes reuse the arena: a second run must be
+  // bitwise identical to the first.
+  const Tensor yi2 = qnet.forward_int8(imgs[0]);
+  EXPECT_EQ(tensor::max_abs_diff(yi, yi2), 0.0f);
+}
+
+TEST(QuantizedNetwork, Int8SpeedupReportedAgainstDeviceModel) {
+  // The speedup claim is a property of the packed simd kernels — the scalar
+  // backend's s8u8 loop is deliberately the slow oracle — so pin the simd
+  // backend for the measurement regardless of NETCUT_BACKEND.
+  const tensor::BackendKind entry_backend = tensor::active_backend_kind();
+  tensor::set_backend(tensor::BackendKind::kSimd);
+  util::Rng rng(24);
+  nn::Graph g = zoo::build_trunk(zoo::NetId::kResNet50, 32);
+  nn::init_graph(g, rng);
+  nn::Network fp(fold_batchnorm(g));
+  QuantizedNetwork qnet(fold_batchnorm(g));
+  const Tensor img = Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f);
+  qnet.calibrate({&img});
+
+  const auto best_ms = [](auto&& fn) {
+    fn();  // warm caches and plans
+    double best = 1e300;
+    for (int i = 0; i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+  };
+  const double fp_ms = best_ms([&] { fp.forward(img); });
+  const double q_ms = best_ms([&] { qnet.forward_int8(img); });
+  const double measured = fp_ms / q_ms;
+  const double predicted = hw::DeviceModel().int8_speedup(fp.graph(), /*fuse=*/true);
+
+  RecordProperty("fp32_ms", std::to_string(fp_ms));
+  RecordProperty("int8_ms", std::to_string(q_ms));
+  RecordProperty("measured_speedup", std::to_string(measured));
+  RecordProperty("device_model_speedup", std::to_string(predicted));
+  std::printf("int8 e2e resnet50@32: fp32 %.3f ms, int8 %.3f ms, measured %.2fx, "
+              "device-model term %.2fx\n",
+              fp_ms, q_ms, measured, predicted);
+
+  // The model simulates an embedded GPU, so only direction is comparable:
+  // both must see int8 as a speedup (loose floor guards timing jitter).
+  EXPECT_GT(predicted, 1.0);
+  EXPECT_GT(measured, 0.75);
+  tensor::set_backend(entry_backend);
 }
 
 }  // namespace
