@@ -1,17 +1,28 @@
 // Serving-layer snapshot (BENCH_serve.json): batched vs single-request
-// service under the deterministic open-loop load simulation shared with
+// service, the heap-queue take() microbench, and the fleet section —
+// multi-worker scaling, admission under overload and per-tenant SLOs —
+// all under the deterministic open-loop load simulation shared with
 // tests/test_serve.cpp (tests/serve_sim.hpp).
 //
 //   ./build/bench/serve_snapshot [--json BENCH_serve.json]
 //
-// Every number is a pure function of (config, seed): the harness runs each
-// configuration twice with the same seed and refuses to write the snapshot
-// (exit 1) unless the two runs are bit-identical. The headline claims the
-// snapshot exists to pin down:
+// Every simulated number is a pure function of (config, seed): the harness
+// runs each configuration twice with the same seed and refuses to write the
+// snapshot (exit 1) unless the two runs are bit-identical (fleet rows
+// compare FNV-1a digests of the full completion stream). The headline
+// claims the snapshot exists to pin down:
 //   * batch cap 8 sustains >= 3x the single-request throughput under an
-//     offered load ~5x the single-request service rate, and
-//   * its deadline-miss rate and p99 response do not exceed the
-//     single-request baseline's.
+//     offered load ~5x the single-request service rate, at no worse a miss
+//     rate or p99 than the single-request baseline;
+//   * the heap-backed RequestQueue::take costs far less than the full
+//     EDF re-sort per take it replaced, with bit-identical pop order;
+//   * a 4-worker fleet sustains >= 3x a 1-worker fleet's aggregate
+//     throughput at an equal admitted miss rate (1/2/4/8 scaling curve);
+//   * under ~2x overload with a bursty tenant, admission sheds explicitly
+//     (never a silent miss) and admitted p99 stays within each SLO class
+//     budget — the burst's shedding lands on the bursty tenant.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,9 +34,12 @@
 #include <vector>
 
 #include "hw/device.hpp"
+#include "hw/faults.hpp"
+#include "serve/fleet.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
 #include "serve_sim.hpp"
+#include "util/rng.hpp"
 #include "zoo/zoo.hpp"
 
 namespace {
@@ -89,6 +103,159 @@ void emit_json(std::ostream& out, const ServeRun& r, bool last) {
       << (last ? "" : ",") << "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Queue take() microbench: incrementally maintained heap vs the full
+// EDF re-sort per take it replaced (satellite of the fleet PR). Pop order
+// must agree bit-for-bit; the cost per take is wall-clock (reported, not
+// part of the reproducibility gate).
+// ---------------------------------------------------------------------------
+
+struct QueueBench {
+  std::size_t backlog = 0;
+  std::size_t batch = 0;
+  double heap_us_per_take = 0.0;
+  double sort_us_per_take = 0.0;
+  bool order_identical = false;
+};
+
+std::vector<serve::Request> queue_bench_workload(std::size_t n) {
+  util::Rng rng(util::derive_seed(424242, "bench/queue-take"));
+  std::vector<serve::Request> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::Request r;
+    r.id = static_cast<std::uint64_t>(i);
+    // Coarse deadlines force ties (broken by id), the worst case for
+    // keeping pop order deterministic.
+    r.deadline_ms = static_cast<double>(rng.uniform_int(0, 1 << 14));
+    out.push_back(r);
+  }
+  return out;
+}
+
+QueueBench run_queue_bench(std::size_t backlog, std::size_t batch) {
+  using clock = std::chrono::steady_clock;
+  const std::vector<serve::Request> work = queue_bench_workload(backlog);
+  auto edf_less = [](const serve::Request& a, const serve::Request& b) {
+    if (a.deadline_ms != b.deadline_ms) return a.deadline_ms < b.deadline_ms;
+    return a.id < b.id;
+  };
+
+  QueueBench qb;
+  qb.backlog = backlog;
+  qb.batch = batch;
+
+  // Heap-backed queue: push everything, then drain in batches.
+  std::vector<std::uint64_t> heap_order;
+  heap_order.reserve(backlog);
+  {
+    serve::RequestQueue q;
+    for (const serve::Request& r : work) q.push(r);
+    const auto t0 = clock::now();
+    std::size_t takes = 0;
+    while (!q.empty()) {
+      const auto got = q.take([&](const serve::Request&, std::size_t pending) {
+        return std::min(pending, batch);
+      });
+      for (const serve::Request& r : got) heap_order.push_back(r.id);
+      ++takes;
+    }
+    const double us = std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+    qb.heap_us_per_take = us / static_cast<double>(takes);
+  }
+
+  // Legacy reference: the pre-heap implementation re-sorted the whole
+  // backlog on every take.
+  std::vector<std::uint64_t> sort_order;
+  sort_order.reserve(backlog);
+  {
+    std::vector<serve::Request> pending = work;
+    const auto t0 = clock::now();
+    std::size_t takes = 0;
+    while (!pending.empty()) {
+      std::sort(pending.begin(), pending.end(), edf_less);
+      const std::size_t n = std::min(pending.size(), batch);
+      for (std::size_t i = 0; i < n; ++i) sort_order.push_back(pending[i].id);
+      pending.erase(pending.begin(), pending.begin() + static_cast<std::ptrdiff_t>(n));
+      ++takes;
+    }
+    const double us = std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+    qb.sort_us_per_take = us / static_cast<double>(takes);
+  }
+
+  qb.order_identical = heap_order == sort_order;
+  return qb;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet section.
+// ---------------------------------------------------------------------------
+
+struct FleetRun {
+  std::string label;
+  std::size_t workers = 1;
+  serve_sim::FleetReport report;
+  bool reproducible = false;
+};
+
+/// Homogeneous timing-only fleet: one TRN per replica, faults pinned off
+/// (these rows are capacity measurements), per-worker derived serve seeds.
+serve::Fleet make_fleet(const std::shared_ptr<const nn::Graph>& graph, std::size_t n,
+                        serve::FleetConfig cfg, double nominal_deadline_ms) {
+  std::vector<serve::FleetWorker> workers;
+  for (std::size_t w = 0; w < n; ++w) {
+    serve::FleetWorker fw;
+    fw.name = "w" + std::to_string(w);
+    fw.options = {{"trn", nullptr, batch_curve(graph)}};
+    fw.serve.max_batch = 8;
+    fw.serve.nominal_deadline_ms = nominal_deadline_ms;
+    fw.serve.seed = util::derive_seed(7070, "bench/fleet/worker/" + std::to_string(w));
+    fw.serve.faults = &hw::FaultModel::disabled();
+    workers.push_back(std::move(fw));
+  }
+  return serve::Fleet(std::move(workers), std::move(cfg));
+}
+
+FleetRun run_fleet_config(const std::shared_ptr<const nn::Graph>& graph,
+                          const serve::FleetConfig& fc,
+                          const serve_sim::FleetLoadConfig& load, const std::string& label,
+                          std::size_t workers) {
+  const auto arrivals = serve_sim::generate_fleet_arrivals(load, fc.classes, {});
+  auto once = [&] {
+    serve::Fleet fleet = make_fleet(graph, workers, fc, fc.classes[0].deadline_slack_ms);
+    return serve_sim::run_fleet_open_loop(fleet, arrivals);
+  };
+  FleetRun r;
+  r.label = label;
+  r.workers = workers;
+  r.report = once();
+  r.reproducible = serve_sim::fleet_reports_identical(r.report, once());
+  return r;
+}
+
+void print_fleet_run(const FleetRun& r) {
+  std::printf("%-16s workers=%zu: %9.1f req/s, p99 %7.3f ms, miss %5.2f%%, "
+              "shed %5.1f%%, steals %lld, mean batch %.2f, reproducible=%s\n",
+              r.label.c_str(), r.workers, r.report.throughput_rps, r.report.p99_response_ms,
+              100.0 * r.report.miss_rate, 100.0 * r.report.shed_rate,
+              static_cast<long long>(r.report.steals), r.report.mean_batch,
+              r.reproducible ? "yes" : "NO");
+}
+
+void emit_fleet_json(std::ostream& out, const FleetRun& r, bool last) {
+  out << "      {\"label\": \"" << r.label << "\", \"workers\": " << r.workers
+      << ", \"requests\": " << r.report.submitted
+      << ", \"throughput_rps\": " << r.report.throughput_rps
+      << ", \"p50_response_ms\": " << r.report.p50_response_ms
+      << ", \"p99_response_ms\": " << r.report.p99_response_ms
+      << ", \"miss_rate\": " << r.report.miss_rate
+      << ", \"shed_rate\": " << r.report.shed_rate
+      << ", \"steals\": " << r.report.steals << ", \"mean_batch\": " << r.report.mean_batch
+      << ", \"digest\": " << r.report.digest
+      << ", \"reproducible\": " << (r.reproducible ? "true" : "false") << "}"
+      << (last ? "" : ",") << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,7 +288,7 @@ int main(int argc, char** argv) {
   const double ratio = single.report.throughput_rps > 0
                            ? batched.report.throughput_rps / single.report.throughput_rps
                            : 0.0;
-  std::printf("\nthroughput ratio (batched / single): %.2fx\n", ratio);
+  std::printf("throughput ratio (batched / single): %.2fx\n\n", ratio);
 
   bool ok = true;
   for (const ServeRun& r : runs)
@@ -139,6 +306,96 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- queue take() cost: heap vs full re-sort --------------------------
+  const QueueBench qb = run_queue_bench(/*backlog=*/8192, /*batch=*/8);
+  std::printf("queue take() at backlog %zu, batch %zu: heap %.2f us/take vs "
+              "full-sort %.2f us/take (%.0fx), pop order identical=%s\n\n",
+              qb.backlog, qb.batch, qb.heap_us_per_take, qb.sort_us_per_take,
+              qb.heap_us_per_take > 0 ? qb.sort_us_per_take / qb.heap_us_per_take : 0.0,
+              qb.order_identical ? "yes" : "NO");
+  if (!qb.order_identical) {
+    std::fprintf(stderr, "serve_snapshot: heap pop order diverged from the sorted reference\n");
+    ok = false;
+  }
+
+  // --- fleet scaling curve: 1 -> 8 workers ------------------------------
+  serve::FleetConfig scale_fc;
+  scale_fc.classes = {{"standard", 6.0 * curve(1), 6.0 * curve(1), 1.0}};
+  serve_sim::FleetLoadConfig scale_load;
+  scale_load.requests = 500000;
+  scale_load.mean_interarrival_ms = curve(8) / 8.0 / 6.0;  // ~6x one worker's capacity
+  scale_load.tenants = {{1, 0, 1.0}};
+
+  std::vector<FleetRun> fleet_runs;
+  for (const std::size_t w : {1u, 2u, 4u, 8u})
+    fleet_runs.push_back(run_fleet_config(graph, scale_fc, scale_load,
+                                          "fleet-" + std::to_string(w) + "w", w));
+  for (const FleetRun& r : fleet_runs) print_fleet_run(r);
+
+  const double one_tput = fleet_runs[0].report.throughput_rps;
+  const double ratio_4v1 = one_tput > 0 ? fleet_runs[2].report.throughput_rps / one_tput : 0.0;
+  std::printf("fleet throughput ratio (4 workers / 1 worker): %.2fx\n\n", ratio_4v1);
+
+  for (const FleetRun& r : fleet_runs)
+    if (!r.reproducible) {
+      std::fprintf(stderr, "serve_snapshot: '%s' not bit-identical across same-seed runs\n",
+                   r.label.c_str());
+      ok = false;
+    }
+  if (ratio_4v1 < 3.0) {
+    std::fprintf(stderr, "serve_snapshot: fleet 4v1 ratio %.2fx below the 3x bar\n", ratio_4v1);
+    ok = false;
+  }
+  if (fleet_runs[2].report.miss_rate > fleet_runs[0].report.miss_rate + 0.005) {
+    std::fprintf(stderr, "serve_snapshot: 4-worker miss rate exceeds the 1-worker baseline\n");
+    ok = false;
+  }
+
+  // --- admission under 2x overload with a bursty tenant -----------------
+  serve::FleetConfig tenant_fc;
+  tenant_fc.classes = {{"gold", 5.0 * curve(1), 5.0 * curve(1), 3.0},
+                       {"standard", 9.0 * curve(1), 9.0 * curve(1), 1.0}};
+  tenant_fc.pressure_backlog = 24;
+  serve_sim::FleetLoadConfig tenant_load;
+  tenant_load.requests = 500000;
+  tenant_load.mean_interarrival_ms = curve(8) / 8.0 / 2.0 / 0.8;  // 80% of 2 workers
+  tenant_load.tenants = {{99, 1, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}};
+  {
+    constexpr std::size_t kNoBoost = static_cast<std::size_t>(-1);
+    const double span =
+        tenant_load.mean_interarrival_ms * static_cast<double>(tenant_load.requests);
+    tenant_load.phases = {{span * 0.3, 1.0, kNoBoost, 1.0},
+                          {span * 0.2, 2.5, 0, 8.0},  // tenant 99 bursts: ~2x fleet capacity
+                          {span * 0.5, 1.0, kNoBoost, 1.0}};
+  }
+  const FleetRun overload =
+      run_fleet_config(graph, tenant_fc, tenant_load, "fleet-overload", 2);
+  print_fleet_run(overload);
+  for (const auto& [tenant, tr] : overload.report.tenants)
+    std::printf("  tenant %-3u (%s): shed %5.1f%%, miss %5.2f%%, p99 %.3f ms "
+                "(budget %.3f ms)\n",
+                tenant, tenant_fc.classes[tr.slo].name.c_str(), 100.0 * tr.shed_rate,
+                100.0 * tr.miss_rate, tr.p99_response_ms,
+                tenant_fc.classes[tr.slo].p99_budget_ms);
+  std::printf("\n");
+
+  if (!overload.reproducible) {
+    std::fprintf(stderr, "serve_snapshot: overload row not bit-identical\n");
+    ok = false;
+  }
+  if (overload.report.shed <= 0) {
+    std::fprintf(stderr, "serve_snapshot: overload run shed nothing — not an overload\n");
+    ok = false;
+  }
+  for (const auto& [tenant, tr] : overload.report.tenants) {
+    if (tr.served > 0 && tr.p99_response_ms > tenant_fc.classes[tr.slo].p99_budget_ms) {
+      std::fprintf(stderr,
+                   "serve_snapshot: tenant %u admitted p99 %.3f ms over its %.3f ms budget\n",
+                   tenant, tr.p99_response_ms, tenant_fc.classes[tr.slo].p99_budget_ms);
+      ok = false;
+    }
+  }
+
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "serve_snapshot: cannot open " << json_path << "\n";
@@ -151,7 +408,31 @@ int main(int argc, char** argv) {
   out << "  \"throughput_ratio\": " << ratio << ",\n";
   out << "  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) emit_json(out, runs[i], i + 1 == runs.size());
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"queue_take\": {\"backlog\": " << qb.backlog << ", \"batch\": " << qb.batch
+      << ", \"heap_us_per_take\": " << qb.heap_us_per_take
+      << ", \"sort_us_per_take\": " << qb.sort_us_per_take
+      << ", \"order_identical\": " << (qb.order_identical ? "true" : "false")
+      << ", \"note\": \"wall-clock costs, excluded from the bit-identity gate\"},\n";
+  out << "  \"fleet\": {\n    \"throughput_ratio_4v1\": " << ratio_4v1 << ",\n";
+  out << "    \"scaling\": [\n";
+  for (std::size_t i = 0; i < fleet_runs.size(); ++i)
+    emit_fleet_json(out, fleet_runs[i], i + 1 == fleet_runs.size());
+  out << "    ],\n    \"overload\": [\n";
+  emit_fleet_json(out, overload, true);
+  out << "    ],\n    \"tenants\": [\n";
+  {
+    std::size_t i = 0;
+    for (const auto& [tenant, tr] : overload.report.tenants) {
+      out << "      {\"tenant\": " << tenant << ", \"class\": \""
+          << tenant_fc.classes[tr.slo].name << "\", \"submitted\": " << tr.submitted
+          << ", \"shed_rate\": " << tr.shed_rate << ", \"miss_rate\": " << tr.miss_rate
+          << ", \"p99_response_ms\": " << tr.p99_response_ms
+          << ", \"p99_budget_ms\": " << tenant_fc.classes[tr.slo].p99_budget_ms << "}"
+          << (++i == overload.report.tenants.size() ? "" : ",") << "\n";
+    }
+  }
+  out << "    ]\n  }\n}\n";
   std::cout << "wrote " << json_path << "\n";
   return ok ? 0 : 1;
 }

@@ -2,22 +2,32 @@
 // the deadline-meeting TRN per network and the final selection.
 //
 //   netcut_cli [--deadline MS] [--estimator profiler|analytical]
-//              [--net NAME ...] [--fast] [--cache-dir DIR]
+//              [--net NAME ...] [--fast] [--cache-dir DIR] [--workers N]
 //
 // Example:
 //   ./build/examples/netcut_cli --deadline 0.6 --estimator analytical
 //
+// --workers N skips the selection pipeline and runs the fleet serving demo
+// instead: N timing-only replicas behind the sharded queue with admission
+// control, under a deterministic two-tenant overload (serve/fleet.hpp).
+//
 // Exit codes: 0 success, 1 no network meets the deadline, 2 bad arguments,
 // 3 filesystem failure (unreadable/unwritable caches), 4 runtime failure.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/estimator.hpp"
 #include "core/netcut.hpp"
+#include "hw/device.hpp"
+#include "serve/fleet.hpp"
+#include "serve_sim.hpp"
 #include "tensor/backend.hpp"
 #include "util/table.hpp"
 
@@ -32,11 +42,71 @@ void usage() {
   std::printf(
       "usage: netcut_cli [--deadline MS] [--estimator profiler|analytical]\n"
       "                  [--net NAME ...] [--fast] [--cache-dir DIR]\n"
-      "                  [--backend scalar|simd]\n"
+      "                  [--backend scalar|simd] [--workers N]\n"
       "nets: ");
   for (auto id : netcut::zoo::all_nets())
     std::printf("%s ", netcut::zoo::net_name(id).c_str());
   std::printf("\n");
+}
+
+// Fleet serving demo behind --workers N: a homogeneous timing-only fleet of
+// N replicas over the smallest zoo trunk, driven by the same deterministic
+// open-loop simulation the tests and bench use, at ~1.5x the fleet's
+// aggregate capacity so admission control visibly sheds.
+int run_fleet_demo(std::size_t workers) {
+  using namespace netcut;
+
+  const auto graph = std::make_shared<const nn::Graph>(
+      zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32));
+  auto device = std::make_shared<hw::DeviceModel>();
+  auto cache = std::make_shared<std::map<int, double>>();
+  auto curve = [graph, device, cache](int b) {
+    if (auto it = cache->find(b); it != cache->end()) return it->second;
+    const double v = device->network_latency_ms(*graph, hw::Precision::kInt8, true, b);
+    return cache->emplace(b, v).first->second;
+  };
+
+  serve::FleetConfig fc;
+  fc.classes = {{"gold", 5.0 * curve(1), 5.0 * curve(1), 3.0},
+                {"standard", 9.0 * curve(1), 9.0 * curve(1), 1.0}};
+  std::vector<serve::FleetWorker> specs;
+  for (std::size_t w = 0; w < workers; ++w) {
+    serve::FleetWorker fw;
+    fw.name = "replica" + std::to_string(w);
+    fw.options = {{"trn", nullptr, curve}};
+    fw.serve.max_batch = 8;
+    fw.serve.nominal_deadline_ms = fc.classes[0].deadline_slack_ms;
+    fw.serve.seed = util::derive_seed(7070, "cli/fleet/worker/" + std::to_string(w));
+    specs.push_back(std::move(fw));
+  }
+  serve::Fleet fleet(std::move(specs), fc);
+
+  serve_sim::FleetLoadConfig load;
+  load.requests = 20000;
+  const double capacity = static_cast<double>(workers) * 8.0 / curve(8);
+  load.mean_interarrival_ms = 1.0 / (1.5 * capacity);  // ~1.5x fleet capacity
+  load.tenants = {{1, 0, 2.0}, {2, 1, 1.0}};
+  const auto arrivals = serve_sim::generate_fleet_arrivals(load, fc.classes, {});
+  const serve_sim::FleetReport rep = serve_sim::run_fleet_open_loop(fleet, arrivals);
+
+  std::printf("fleet demo: %zu worker%s, %lld requests at ~1.5x capacity\n", workers,
+              workers == 1 ? "" : "s", static_cast<long long>(rep.submitted));
+  std::printf("  served %lld (%.1f req/s), shed %lld (%.1f%%, explicit rejections), "
+              "missed %lld\n",
+              static_cast<long long>(rep.served), rep.throughput_rps,
+              static_cast<long long>(rep.shed), 100.0 * rep.shed_rate,
+              static_cast<long long>(rep.missed));
+  std::printf("  p50 %.3f ms, p99 %.3f ms, mean batch %.2f, steals %lld\n",
+              rep.p50_response_ms, rep.p99_response_ms, rep.mean_batch,
+              static_cast<long long>(rep.steals));
+  for (const auto& [tenant, tr] : rep.tenants)
+    std::printf("  tenant %u (%s): submitted %lld, shed %.1f%%, miss %.2f%%, "
+                "p99 %.3f ms (budget %.3f ms)\n",
+                tenant, fc.classes[tr.slo].name.c_str(),
+                static_cast<long long>(tr.submitted), 100.0 * tr.shed_rate,
+                100.0 * tr.miss_rate, tr.p99_response_ms,
+                fc.classes[tr.slo].p99_budget_ms);
+  return 0;
 }
 
 int run_cli(int argc, char** argv) {
@@ -47,6 +117,7 @@ int run_cli(int argc, char** argv) {
   std::vector<zoo::NetId> nets;
   bool fast = false;
   std::string cache_dir;
+  std::size_t workers = 0;  // 0 = no fleet demo
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,6 +134,17 @@ int run_cli(int argc, char** argv) {
       // and NETCUT_BACKEND. parse_backend throws std::invalid_argument on an
       // unknown name, which the top-level handler maps to exit 2.
       tensor::set_backend(tensor::parse_backend(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      // Full-consumption strtol: "8x" or "abc" must not silently parse as a
+      // prefix. Anything that is not an integer >= 1 is operator error.
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1) {
+        std::fprintf(stderr, "netcut_cli: --workers needs an integer >= 1, got '%s'\n",
+                     argv[i]);
+        return kExitBadArgs;
+      }
+      workers = static_cast<std::size_t>(n);
     } else if (arg == "--net" && i + 1 < argc) {
       const std::string want = argv[++i];
       bool found = false;
@@ -81,6 +163,8 @@ int run_cli(int argc, char** argv) {
       return arg == "--help" ? 0 : kExitBadArgs;
     }
   }
+
+  if (workers > 0) return run_fleet_demo(workers);
 
   // Redirect both experiment caches under --cache-dir, creating it eagerly
   // so an unusable location fails fast (exit 3) before any expensive work.

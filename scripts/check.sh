@@ -20,9 +20,12 @@
 # 6. AddressSanitizer (build-asan/): thread pool, memory planner, graph
 #    verifier and kernel-backend tests — the subsystems that juggle raw
 #    lifetimes plus the hand-packed AVX2/FMA panels
-# 7. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
+# 7. ThreadSanitizer (build-tsan/): the serving layer (ctest -L serve),
+#    clean and again under the chaos schedule — the sharded queue, work
+#    stealing and fleet loop are the lock-heavy surface of the tree
+# 8. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
 #    -fno-sanitize-recover=all, so any UB aborts the run
-# 8. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
+# 9. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
 #    has no clang-tidy)
 set -euo pipefail
 
@@ -49,42 +52,49 @@ label_summary() {
   done < <(ctest --test-dir build --print-labels | sed -n 's/^  //p')
 }
 
-echo "==> [1/8] configure + build (build/, -Werror)"
+echo "==> [1/9] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/8] ctest (full tier-1 suite)"
+echo "==> [2/9] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/8] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
+echo "==> [3/9] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [4/8] serving layer (ctest -L serve, clean + chaos)"
+echo "==> [4/9] serving layer (ctest -L serve, clean + chaos)"
 ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 label_summary
 
-echo "==> [5/8] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
+echo "==> [5/9] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
 NETCUT_BACKEND=scalar \
   ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
 NETCUT_BACKEND=simd \
   ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
 
-echo "==> [6/8] ASan: thread pool + memory planner + verifier + kernel backends"
+echo "==> [6/9] ASan: thread pool + memory planner + verifier + kernel backends"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$(nproc)" \
   --target test_util_threadpool test_nn_memplan test_nn_verify test_tensor_backends
 ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify|Backends' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [7/8] UBSan: full tier-1 suite"
+echo "==> [7/9] TSan: serving layer (ctest -L serve, clean + chaos)"
+cmake -B build-tsan -S . -DNETCUT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target test_serve
+ctest --test-dir build-tsan -L serve --output-on-failure -j "$(nproc)"
+NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
+  ctest --test-dir build-tsan -L serve --output-on-failure -j "$(nproc)"
+
+echo "==> [8/9] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 
-echo "==> [8/8] clang-tidy"
+echo "==> [9/9] clang-tidy"
 ./scripts/tidy.sh
 
 echo "==> check passed"

@@ -56,6 +56,15 @@ class MissRateWatchdog {
   /// Index into the Pareto front currently in service (0 = preferred).
   std::size_t current() const { return current_; }
 
+  /// Miss rate over the observations currently in the sliding window
+  /// (0 while the window is empty, e.g. right after a switch). A live
+  /// health signal for dashboards/fleet reports; decisions still act only
+  /// on full windows.
+  double window_miss_rate() const {
+    return win_count_ > 0 ? static_cast<double>(win_miss_) / static_cast<double>(win_count_)
+                          : 0.0;
+  }
+
   const WatchdogConfig& config() const { return config_; }
 
   /// Record one work item. `missed` is whether it blew its deadline;

@@ -7,6 +7,16 @@ namespace netcut::hw {
 
 const char* to_string(Precision p) { return p == Precision::kFp32 ? "fp32" : "int8"; }
 
+DeviceConfig scaled_device(const DeviceConfig& base, double perf_factor, std::string name) {
+  if (perf_factor <= 0) throw std::invalid_argument("scaled_device: non-positive factor");
+  DeviceConfig out = base;
+  out.name = std::move(name);
+  out.peak_gflops_fp32 *= perf_factor;
+  out.peak_gflops_int8 *= perf_factor;
+  out.mem_bandwidth_gbps *= perf_factor;
+  return out;
+}
+
 DeviceModel::DeviceModel(DeviceConfig config) : config_(std::move(config)) {
   if (config_.peak_gflops_fp32 <= 0 || config_.peak_gflops_int8 <= 0 ||
       config_.mem_bandwidth_gbps <= 0)

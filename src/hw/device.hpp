@@ -49,6 +49,13 @@ struct DeviceConfig {
   double spatial_knee = 16.0;
 };
 
+/// A derived device config with compute throughput and memory bandwidth
+/// scaled by `perf_factor` (launch overhead and efficiencies unchanged) —
+/// the cheap, principled way to model a heterogeneous serving fleet:
+/// faster/slower replicas of the same architecture, e.g.
+/// scaled_device(base, 0.5, "xavier-slow") for a half-speed sibling.
+DeviceConfig scaled_device(const DeviceConfig& base, double perf_factor, std::string name);
+
 struct KernelCost {
   int node = -1;
   std::string name;

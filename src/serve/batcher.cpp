@@ -12,21 +12,22 @@ BatchFormer::BatchFormer(BatcherConfig config, std::function<double(int)> batch_
   if (!batch_latency_ms_) throw std::invalid_argument("BatchFormer: null latency estimate");
 }
 
-std::size_t BatchFormer::choose(double now_ms,
-                                const std::vector<Request>& edf_pending) const {
-  if (edf_pending.empty()) return 0;
-  const std::size_t cap =
-      std::min(edf_pending.size(), static_cast<std::size_t>(config_.max_batch));
-  // EDF order makes the earliest deadline of any prefix the head's deadline.
-  const double earliest = edf_pending.front().deadline_ms;
-  std::size_t best = 1;  // head is always served, even if already late
+std::size_t BatchFormer::choose(double now_ms, double head_deadline_ms,
+                                std::size_t pending) const {
+  if (pending == 0) return 0;
+  const std::size_t cap = std::min(pending, static_cast<std::size_t>(config_.max_batch));
   for (std::size_t n = cap; n > 1; --n) {
-    if (now_ms + batch_latency_ms_(static_cast<int>(n)) <= earliest) {
-      best = n;
-      break;
-    }
+    if (now_ms + batch_latency_ms_(static_cast<int>(n)) <= head_deadline_ms) return n;
   }
-  return best;
+  // Not even a batch of 1 meets the head's deadline: the head is late no
+  // matter what, so serve it in the LARGEST batch. Shrinking the batch
+  // cannot save the head, but it divides throughput by the batch size —
+  // under a saturated queue that collapse is self-sustaining (every later
+  // head inherits a longer wait and is hopeless in turn, so the queue is
+  // drained serially forever at 1/curve(1) while admission reasons at the
+  // amortized batched rate). Draining late work at full amortization is
+  // what lets the backlog fall back under the deadline horizon.
+  return now_ms + batch_latency_ms_(1) <= head_deadline_ms ? 1 : cap;
 }
 
 }  // namespace netcut::serve

@@ -1,23 +1,27 @@
 // Greedy deadline-aware batch forming.
 //
-// Given the EDF-sorted pending set, pick the largest batch (up to the size
+// Given the EDF-ordered backlog, pick the largest batch (up to the size
 // cap) whose estimated batched latency still meets the earliest deadline in
-// the batch. Because the candidates are EDF-sorted, the earliest deadline
-// of any prefix is the head's deadline, so the search is a single scan over
-// the batch-latency curve — which the device model makes concave in batch
-// size (launch once, weights stream once), exactly the amortization the
-// batcher is there to exploit.
+// the batch. Because the backlog is EDF-ordered, the earliest deadline of
+// any prefix is the head's deadline — so the policy needs only the head
+// and the backlog size, which is exactly what RequestQueue::take hands it
+// (the queue no longer materializes a sorted view at all). The search is a
+// single scan over the batch-latency curve — which the device model makes
+// concave in batch size (launch once, weights stream once), exactly the
+// amortization the batcher is there to exploit.
 //
-// The head request is always served (batch >= 1) even when it can no
-// longer meet its deadline: it is cheaper to complete it late — and let
-// the miss feed the watchdog — than to let it starve the queue.
+// The head request is always served even when it can no longer meet its
+// deadline — completing it late (and letting the miss feed the watchdog)
+// beats letting it starve the queue. A hopeless head rides the *largest*
+// batch: nothing can save it, so the policy maximizes drain rate instead
+// of wasting a near-full single-request launch on it (serving late heads
+// one at a time divides throughput by the batch size exactly when the
+// queue most needs the amortization, and under saturation that collapse
+// is self-sustaining).
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <vector>
-
-#include "serve/request.hpp"
 
 namespace netcut::serve {
 
@@ -33,11 +37,12 @@ class BatchFormer {
   /// non-decreasing in n.
   BatchFormer(BatcherConfig config, std::function<double(int)> batch_latency_ms);
 
-  /// Batch size to take from the EDF-sorted pending set at time `now_ms`:
-  /// the largest n <= min(max_batch, pending) with
-  ///   now_ms + batch_latency_ms(n) <= earliest deadline in the batch,
-  /// and at least 1 when the pending set is non-empty.
-  std::size_t choose(double now_ms, const std::vector<Request>& edf_pending) const;
+  /// Batch size to take from an EDF-ordered backlog of `pending` requests
+  /// whose head deadline is `head_deadline_ms`, at time `now_ms`: the
+  /// largest n <= min(max_batch, pending) with
+  ///   now_ms + batch_latency_ms(n) <= head_deadline_ms,
+  /// and at least 1 when the backlog is non-empty.
+  std::size_t choose(double now_ms, double head_deadline_ms, std::size_t pending) const;
 
   const BatcherConfig& config() const { return config_; }
 

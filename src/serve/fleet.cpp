@@ -1,0 +1,187 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace netcut::serve {
+
+Fleet::Fleet(std::vector<FleetWorker> workers, FleetConfig config)
+    : config_(std::move(config)),
+      queue_(workers.empty() ? 1 : workers.size(), config_.seed) {
+  if (workers.empty()) throw std::invalid_argument("Fleet: no workers");
+  if (config_.classes.empty()) throw std::invalid_argument("Fleet: no SLO classes");
+  if (config_.admission_headroom < 0 || config_.admission_headroom >= 1)
+    throw std::invalid_argument("Fleet: admission_headroom outside [0, 1)");
+  for (const SloClass& c : config_.classes)
+    if (c.weight <= 0 || c.deadline_slack_ms <= 0 || c.p99_budget_ms <= 0)
+      throw std::invalid_argument("Fleet: bad SLO class '" + c.name + "'");
+  names_.reserve(workers.size());
+  servers_.reserve(workers.size());
+  busy_until_ms_.assign(workers.size(), -std::numeric_limits<double>::infinity());
+  max_batch_.reserve(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    FleetWorker& spec = workers[w];
+    names_.push_back(spec.name.empty() ? "worker" + std::to_string(w) : spec.name);
+    max_batch_.push_back(static_cast<std::size_t>(std::max(1, spec.serve.max_batch)));
+    servers_.push_back(std::make_unique<BatchServer>(std::move(spec.options),
+                                                     queue_.shard(w), spec.serve));
+  }
+}
+
+bool Fleet::feasible(const Request& r, double now_ms) const {
+  // Least-loaded-replica bound: earliest start (free time), plus the
+  // shard's backlog drained at the fastest TRN's amortized batched rate —
+  // fastest(max_batch) / max_batch, the best sustained per-request rate any
+  // option on the replica can reach (a batch of n costs curve(n), so
+  // dividing the single-request latency by the batch size would overstate
+  // the drain rate) — plus one full fastest batch window for the request
+  // itself. Reserving the whole batch window, not a single-request pass, is
+  // what keeps admission self-consistent: it caps the backlog at a depth
+  // where the EDF head still has curve(max_batch) of slack left when its
+  // turn comes, so the batch former can keep packing full batches. A looser
+  // bound admits a backlog deep enough that heads arrive at the server
+  // already hopeless, batches degenerate toward size 1, the effective
+  // service rate collapses below the assumed amortized rate, and every
+  // admitted request misses — the exact spiral admission control is there
+  // to prevent. If even this best case blows the deadline on every replica,
+  // no admission order could save the request: shed now, explicitly,
+  // instead of missing later. Work stealing is what makes the per-replica
+  // view sound — work admitted against a short shard gets pulled to a dry
+  // worker if its own shard lags.
+  const double margin =
+      std::max(0.0, config_.admission_headroom * (r.deadline_ms - now_ms));
+
+  // Own-shard view: the replica this request routes to, serving only its
+  // own shard, finishes it in time. Under balanced routing this is the
+  // exact bound — checking some *other*, less-loaded replica instead would
+  // admit work into a fuller shard than the one that passed the test.
+  const std::size_t own = queue_.route(r.id);
+  const int own_mb = static_cast<int>(max_batch_[own]);
+  const double own_batch = servers_[own]->fastest_latency_ms(own_mb);
+  const double own_eta = std::max(now_ms, busy_until_ms_[own]) +
+                         static_cast<double>(queue_.shard(own).size()) * own_batch /
+                             static_cast<double>(own_mb) +
+                         own_batch;
+  if (own_eta + margin <= r.deadline_ms) return true;
+
+  // Fleet-wide view, applicable only while stealing is actually available:
+  // work stealing turns the shards into one logical EDF queue with the
+  // summed service rate (dry workers pull the most urgent work over), so a
+  // request the own-shard view sheds is still admitted while the fleet as
+  // a whole can absorb it. Under skewed routing this is what keeps the hot
+  // shard's backlog bounded while the stealing workers' shards look
+  // deceptively dry. The dry-shard gate matters in the other direction: in
+  // a balanced saturated fleet no shard ever runs dry, nothing migrates,
+  // and vouching for the fleet's aggregate rate would admit work into a
+  // hot shard no stealer will ever relieve.
+  bool stealer_available = false;
+  for (std::size_t w = 0; w < servers_.size() && !stealer_available; ++w)
+    stealer_available = w != own && queue_.shard(w).empty();
+  if (!stealer_available) return false;
+
+  double fleet_rate = 0.0;                                        // requests per ms
+  double earliest_start = std::numeric_limits<double>::infinity();
+  double best_batch = std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < servers_.size(); ++w) {
+    const int mb = static_cast<int>(max_batch_[w]);
+    const double fastest_batch = servers_[w]->fastest_latency_ms(mb);
+    fleet_rate += static_cast<double>(mb) / fastest_batch;
+    earliest_start = std::min(earliest_start, std::max(now_ms, busy_until_ms_[w]));
+    best_batch = std::min(best_batch, fastest_batch);
+  }
+  const double fleet_eta = earliest_start +
+                           static_cast<double>(queue_.total_size()) / fleet_rate + best_batch;
+  return fleet_eta + margin <= r.deadline_ms;
+}
+
+bool Fleet::over_fair_share(const Request& r) const {
+  // Weighted share of in-flight work. Active tenants are those holding
+  // work right now, plus the submitter; iteration over the ordered map
+  // keeps the arithmetic deterministic.
+  double total_weight = 0.0;
+  bool submitter_counted = false;
+  for (const auto& [tenant, n] : inflight_) {
+    if (n <= 0) continue;
+    const auto it = tenants_.find(tenant);
+    total_weight += config_.classes[it->second.slo].weight;
+    submitter_counted = submitter_counted || tenant == r.tenant;
+  }
+  if (!submitter_counted) total_weight += config_.classes[r.slo].weight;
+  const double allowance = config_.classes[r.slo].weight / total_weight *
+                           static_cast<double>(inflight_total_ + 1);
+  const auto it = inflight_.find(r.tenant);
+  const std::int64_t mine = it != inflight_.end() ? it->second : 0;
+  return static_cast<double>(mine + 1) > allowance;
+}
+
+std::optional<Completion> Fleet::submit(const Request& r, double now_ms) {
+  if (r.slo >= config_.classes.size())
+    throw std::invalid_argument("Fleet: request references unknown SLO class");
+  TenantCounters& tc = tenants_[r.tenant];
+  tc.slo = r.slo;
+  ++tc.submitted;
+  ++stats_.submitted;
+
+  const bool pressured = queue_.total_size() >= config_.pressure_backlog;
+  if (config_.admission &&
+      (!feasible(r, now_ms) || (pressured && over_fair_share(r)))) {
+    ++tc.shed;
+    ++stats_.shed;
+    Completion c;
+    c.id = r.id;
+    c.arrival_ms = r.arrival_ms;
+    c.deadline_ms = r.deadline_ms;
+    c.tenant = r.tenant;
+    c.slo = r.slo;
+    c.finish_ms = now_ms;
+    c.rejected = true;
+    return c;
+  }
+
+  ++inflight_[r.tenant];
+  ++inflight_total_;
+  queue_.push(r);
+  return std::nullopt;
+}
+
+std::vector<Completion> Fleet::step(double now_ms) {
+  for (std::size_t w = 0; w < servers_.size(); ++w) {
+    if (busy_until_ms_[w] > now_ms) continue;
+    if (queue_.shard(w).empty()) queue_.balance(w, max_batch_[w]);
+    if (queue_.shard(w).empty()) continue;
+    std::vector<Completion> done = servers_[w]->step(now_ms);
+    if (done.empty()) continue;
+    busy_until_ms_[w] = done.front().finish_ms;
+    for (Completion& c : done) {
+      c.worker = w;
+      TenantCounters& tc = tenants_[c.tenant];
+      ++tc.served;
+      tc.missed += c.missed ? 1 : 0;
+      ++stats_.served;
+      stats_.missed += c.missed ? 1 : 0;
+      --inflight_[c.tenant];
+      --inflight_total_;
+    }
+    return done;
+  }
+  return {};
+}
+
+double Fleet::next_free_after(double now_ms) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const double busy : busy_until_ms_)
+    if (busy > now_ms) next = std::min(next, busy);
+  return next;
+}
+
+void Fleet::close() { queue_.close_all(); }
+
+const FleetStats& Fleet::stats() const {
+  stats_.steals = 0;
+  for (std::size_t w = 0; w < servers_.size(); ++w) stats_.steals += queue_.steals(w);
+  return stats_;
+}
+
+}  // namespace netcut::serve

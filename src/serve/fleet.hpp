@@ -1,0 +1,154 @@
+// serve::Fleet — N BatchServer replicas behind a sharded queue, with
+// admission control and per-tenant SLO accounting. The scale-out of the
+// single-server serving layer: one replica is the PR 5 server unchanged;
+// the fleet adds the pieces one server cannot provide.
+//
+//  * Replicas. Each worker wraps its own BatchServer (its own TRN Pareto
+//    ladder, MissRateWatchdog, fault stream, jitter stream) over its own
+//    latency curves — replicas may model heterogeneous devices (a fast
+//    int8 replica next to slower ones), which is why admission reasons
+//    per-replica instead of assuming a uniform fleet.
+//  * Sharded queue + work stealing (serve/shard.hpp). Batch formation
+//    contends only within a shard; a dry worker steals the most urgent
+//    work from a seeded victim, so utilization survives skewed routing.
+//  * Admission control. A request is shed at submit time — an explicit
+//    Rejected completion, never a silent miss — when even the fastest TRN
+//    on the least-loaded replica cannot meet its deadline, or when, under
+//    backlog pressure, the submitting tenant is already consuming more
+//    than its SLO class's weighted share of the backlog (so a bursty
+//    tenant sheds its own overflow instead of starving everyone else).
+//  * Per-tenant accounting. Submitted/shed/served/missed counters per
+//    tenant, keyed by the tenant id and SLO class carried on every
+//    Request and Completion.
+//
+// Like everything in serve::, the fleet is clock-agnostic and
+// deterministic: callers pass `now_ms`, every random choice draws from
+// seeded streams, and the same (config, seed) reproduces the same
+// completions bit-for-bit at any NETCUT_THREADS setting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/shard.hpp"
+
+namespace netcut::serve {
+
+/// One service-level objective class. Tenants reference a class by index
+/// (Request::slo); the class carries the admission weight and the
+/// reporting budget its tenants are held to.
+struct SloClass {
+  std::string name = "standard";
+  /// Relative deadline the load generator attaches to this class's
+  /// requests (absolute deadline = arrival + slack).
+  double deadline_slack_ms = 10.0;
+  /// Reporting bar: admitted requests of this class are expected to see
+  /// p99 response within this budget (asserted by tests/bench, not
+  /// enforced at runtime).
+  double p99_budget_ms = 10.0;
+  /// Weighted admission share. Under backlog pressure a tenant may hold
+  /// at most weight / (sum of active tenants' weights) of the backlog.
+  double weight = 1.0;
+};
+
+/// Spec for one worker replica.
+struct FleetWorker {
+  std::string name;                   // e.g. "replica0/xavier"
+  std::vector<ServeOption> options;   // preferred first, fastest last
+  ServeConfig serve;                  // per-replica seed/watchdog/faults
+};
+
+struct FleetConfig {
+  std::vector<SloClass> classes = {SloClass{}};
+  std::uint64_t seed = 9090;  // steal-victim streams (per-worker derived)
+  /// Admission control master switch. Off = every request is admitted
+  /// (the fleet degrades into sharded best-effort serving).
+  bool admission = true;
+  /// Fraction of a request's remaining slack kept as safety margin by the
+  /// feasibility bound (admit only if best-case eta fits in (1 - headroom)
+  /// of the slack). Without it the saturated steady state parks the
+  /// backlog exactly on the feasibility boundary, where admitted requests
+  /// finish at deadline +- jitter and half of them miss by a hair. In
+  /// [0, 1).
+  double admission_headroom = 0.10;
+  /// Weighted tenant fairness engages when the total backlog reaches this
+  /// many requests; below it any feasible request is admitted.
+  std::size_t pressure_backlog = 64;
+};
+
+/// Per-tenant counters (explicit outcomes only: submitted = shed + served
+/// + still in flight; a shed request is never also a miss).
+struct TenantCounters {
+  std::uint32_t slo = 0;
+  std::int64_t submitted = 0;
+  std::int64_t shed = 0;       // rejected at admission
+  std::int64_t served = 0;
+  std::int64_t missed = 0;     // served but past deadline
+};
+
+struct FleetStats {
+  std::int64_t submitted = 0;
+  std::int64_t shed = 0;
+  std::int64_t served = 0;
+  std::int64_t missed = 0;
+  std::int64_t steals = 0;  // successful shard-to-shard migrations
+};
+
+class Fleet {
+ public:
+  Fleet(std::vector<FleetWorker> workers, FleetConfig config);
+
+  std::size_t workers() const { return servers_.size(); }
+  const std::string& worker_name(std::size_t w) const { return names_[w]; }
+  const BatchServer& worker(std::size_t w) const { return *servers_[w]; }
+  const FleetConfig& config() const { return config_; }
+
+  /// Admission control at time `now_ms`: either the request is enqueued on
+  /// its shard (nullopt) or it is shed and the explicit Rejected
+  /// completion is returned to the caller.
+  std::optional<Completion> submit(const Request& r, double now_ms);
+
+  /// Serve one batch: the lowest-index worker that is free at `now_ms`
+  /// and has work (stealing if its own shard is dry) runs one
+  /// BatchServer::step. Empty when no worker can start a batch at `now_ms`
+  /// (all busy, or no work). Callers at the same `now_ms` loop until empty
+  /// to let every free worker start.
+  std::vector<Completion> step(double now_ms);
+
+  /// Earliest time strictly after `now_ms` at which a busy worker frees
+  /// up; +infinity when none is busy. The event-loop companion to step().
+  double next_free_after(double now_ms) const;
+
+  /// Total backlog across shards (admitted, not yet taken into a batch).
+  std::size_t backlog() const { return queue_.total_size(); }
+
+  /// No more submissions; shards keep serving (and stealing) until drained.
+  void close();
+
+  const FleetStats& stats() const;
+  /// Deterministically ordered (by tenant id) per-tenant counters.
+  const std::map<std::uint32_t, TenantCounters>& tenants() const { return tenants_; }
+
+ private:
+  bool feasible(const Request& r, double now_ms) const;
+  bool over_fair_share(const Request& r) const;
+
+  FleetConfig config_;
+  ShardedQueue queue_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<BatchServer>> servers_;
+  std::vector<double> busy_until_ms_;
+  std::vector<std::size_t> max_batch_;
+  std::map<std::uint32_t, TenantCounters> tenants_;
+  std::map<std::uint32_t, std::int64_t> inflight_;  // admitted - completed
+  std::int64_t inflight_total_ = 0;
+  mutable FleetStats stats_;
+};
+
+}  // namespace netcut::serve

@@ -5,42 +5,73 @@
 
 namespace netcut::serve {
 
+namespace {
+
+/// std::push_heap/pop_heap build a max-heap; inverting the (deadline, id)
+/// order keeps the *earliest* deadline at the front. Ids are unique, so
+/// this is a total order and pop order is fully deterministic.
+bool later(const Request& a, const Request& b) {
+  if (a.deadline_ms != b.deadline_ms) return a.deadline_ms > b.deadline_ms;
+  return a.id > b.id;
+}
+
+}  // namespace
+
 void RequestQueue::push(Request r) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) throw std::logic_error("RequestQueue: push after close");
-    pending_.push_back(r);
+    heap_.push_back(r);
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+  cv_.notify_one();
+}
+
+void RequestQueue::reinsert(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.push_back(r);
+    std::push_heap(heap_.begin(), heap_.end(), later);
   }
   cv_.notify_one();
 }
 
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return pending_.size();
+  return heap_.size();
 }
 
 bool RequestQueue::empty() const { return size() == 0; }
 
-std::vector<Request> RequestQueue::take(
-    const std::function<std::size_t(const std::vector<Request>&)>& choose) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (pending_.empty()) return {};
-  std::sort(pending_.begin(), pending_.end(), [](const Request& a, const Request& b) {
-    if (a.deadline_ms != b.deadline_ms) return a.deadline_ms < b.deadline_ms;
-    return a.id < b.id;
-  });
-  const std::size_t n = choose(pending_);
-  if (n > pending_.size()) throw std::logic_error("RequestQueue: choose picked too many");
-  std::vector<Request> out(pending_.begin(),
-                           pending_.begin() + static_cast<std::ptrdiff_t>(n));
-  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
+std::vector<Request> RequestQueue::pop_locked(std::size_t n) {
+  std::vector<Request> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    out.push_back(heap_.back());
+    heap_.pop_back();
+  }
   return out;
+}
+
+std::vector<Request> RequestQueue::take(
+    const std::function<std::size_t(const Request& head, std::size_t pending)>& choose) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.empty()) return {};
+  const std::size_t n = choose(heap_.front(), heap_.size());
+  if (n > heap_.size()) throw std::logic_error("RequestQueue: choose picked too many");
+  return pop_locked(n);
+}
+
+std::vector<Request> RequestQueue::steal(std::size_t max_n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pop_locked(std::min(max_n, heap_.size()));
 }
 
 bool RequestQueue::wait_nonempty() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
-  return !pending_.empty();
+  cv_.wait(lock, [&] { return !heap_.empty() || closed_; });
+  return !heap_.empty();
 }
 
 void RequestQueue::close() {

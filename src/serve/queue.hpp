@@ -2,11 +2,20 @@
 // server. Clients push; the server atomically takes the earliest-deadline
 // prefix chosen by its batching policy.
 //
-// The EDF (earliest-deadline-first) order is decided inside one critical
-// section together with the pop, so a concurrently arriving request can
-// never split the policy's view of the queue from what is actually taken.
-// Ties on deadline break by id, which keeps the order — and therefore every
-// downstream number — deterministic under the simulated clock.
+// The pending set is an incrementally maintained binary min-heap keyed by
+// (deadline, id): push is O(log n) and take pops only the k requests it
+// returns (O(k log n)), instead of the full EDF re-sort per take that this
+// replaced (O(n log n) on every batch under a deep backlog — the dominant
+// cost at fleet scale, measured in bench/serve_snapshot's queue_take
+// section). Because (deadline, id) is a total order, popping the k smallest
+// yields exactly the sorted prefix the old sort produced: pop order is
+// bit-identical.
+//
+// The head inspection and the pop still happen inside one critical section,
+// so a concurrently arriving request can never split the batching policy's
+// view of the queue from what is actually taken. Ties on deadline break by
+// id, which keeps the order — and therefore every downstream number —
+// deterministic under the simulated clock.
 #pragma once
 
 #include <condition_variable>
@@ -24,16 +33,32 @@ class RequestQueue {
   /// Enqueue one request. Wakes one waiter.
   void push(Request r);
 
+  /// Re-enqueue a request that is already inside the system (stolen from a
+  /// sibling shard). Unlike push, this is allowed on a closed queue:
+  /// close() stops new arrivals, but in-flight work may still migrate
+  /// between shards while the fleet drains.
+  void reinsert(Request r);
+
   std::size_t size() const;
   bool empty() const;
 
-  /// Atomically: sort the pending set EDF (deadline, then id), ask `choose`
-  /// how many of the earliest-deadline requests to take, pop and return
-  /// that prefix. `choose` sees the full EDF-sorted pending set and must
-  /// return a count in [0, size]; it runs under the queue lock, so it must
-  /// not touch the queue.
+  /// Atomically: ask `choose(head, pending)` — where `head` is the
+  /// earliest-(deadline, id) pending request and `pending` the backlog
+  /// size — how many requests to take, then pop and return that many in
+  /// EDF order. Because the backlog is EDF-ordered, the head carries the
+  /// earliest deadline of any prefix, which is all a deadline-aware policy
+  /// needs (see BatchFormer). `choose` must return a count in
+  /// [0, pending]; it runs under the queue lock, so it must not touch the
+  /// queue. Returns empty when the queue is empty (choose is not called).
   std::vector<Request> take(
-      const std::function<std::size_t(const std::vector<Request>&)>& choose);
+      const std::function<std::size_t(const Request& head, std::size_t pending)>& choose);
+
+  /// Atomically pop up to `max_n` of the earliest-(deadline, id) pending
+  /// requests, in EDF order — the work-stealing primitive: a dry shard
+  /// steals the victim's most urgent work, so stolen requests are served
+  /// in the same global EDF order a single queue would have used. Returns
+  /// empty when the queue is empty. Allowed on a closed queue (draining).
+  std::vector<Request> steal(std::size_t max_n);
 
   /// Block until the queue is non-empty or closed. Returns true when there
   /// is work, false when the queue is closed and drained. The simulated
@@ -45,9 +70,11 @@ class RequestQueue {
   bool closed() const;
 
  private:
+  std::vector<Request> pop_locked(std::size_t n);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<Request> pending_;
+  std::vector<Request> heap_;  // min-heap over (deadline, id)
   bool closed_ = false;
 };
 

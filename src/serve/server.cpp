@@ -30,8 +30,9 @@ BatchServer::BatchServer(std::vector<ServeOption> options, RequestQueue& queue,
 
 std::vector<Completion> BatchServer::step(double now_ms) {
   const std::size_t cur = watchdog_.current();
-  std::vector<Request> batch =
-      queue_.take([&](const std::vector<Request>& edf) { return former_.choose(now_ms, edf); });
+  std::vector<Request> batch = queue_.take([&](const Request& head, std::size_t pending) {
+    return former_.choose(now_ms, head.deadline_ms, pending);
+  });
   if (batch.empty()) return {};
   const int n = static_cast<int>(batch.size());
 
@@ -68,6 +69,8 @@ std::vector<Completion> BatchServer::step(double now_ms) {
     c.id = r.id;
     c.arrival_ms = r.arrival_ms;
     c.deadline_ms = r.deadline_ms;
+    c.tenant = r.tenant;
+    c.slo = r.slo;
     c.finish_ms = finish;
     c.failed = fault.failed;
     c.missed = fault.failed || finish > r.deadline_ms;

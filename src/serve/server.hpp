@@ -62,15 +62,26 @@ struct ServeConfig {
   const hw::FaultModel* faults = nullptr;
 };
 
+/// Sentinel worker index for completions not served by a fleet replica
+/// (single-server use, or an admission-control rejection).
+inline constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
 /// Outcome of one request.
 struct Completion {
   std::uint64_t id = 0;
   double arrival_ms = 0.0;
   double deadline_ms = 0.0;
   double finish_ms = 0.0;
+  std::uint32_t tenant = 0;   // copied from the request
+  std::uint32_t slo = 0;      // copied from the request
   bool missed = false;        // finished after its deadline (or failed)
   bool failed = false;        // the serving run failed under faults
+  /// Shed by admission control: never admitted, never served. An explicit
+  /// verdict — a shed request is not a silent miss. finish_ms is the
+  /// rejection time and missed/failed stay false.
+  bool rejected = false;
   std::size_t option = 0;     // Pareto-front index that served it
+  std::size_t worker = kNoWorker;  // fleet replica that served it
   int batch = 0;              // size of the batch it rode in
   tensor::Tensor output;      // empty when the option has no network
 };
@@ -102,6 +113,18 @@ class BatchServer {
 
   /// Pareto-front index currently in service (0 = preferred).
   std::size_t current_option() const { return watchdog_.current(); }
+
+  /// Nominal latency of the fastest (last) Pareto option for a batch of n —
+  /// the admission-control bound: if even this cannot meet a deadline,
+  /// nothing on this replica can.
+  double fastest_latency_ms(int n) const { return options_.back().latency_ms(n); }
+
+  std::size_t option_count() const { return options_.size(); }
+  const std::string& option_name(std::size_t i) const { return options_[i].name; }
+
+  /// Miss rate over the watchdog's current sliding window (0 until it has
+  /// observations) — the live health signal fleet reports surface.
+  double window_miss_rate() const { return watchdog_.window_miss_rate(); }
 
   const ServeStats& stats() const { return stats_; }
   const ServeConfig& config() const { return config_; }

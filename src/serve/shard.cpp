@@ -1,0 +1,59 @@
+#include "serve/shard.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace netcut::serve {
+
+ShardedQueue::ShardedQueue(std::size_t shards, std::uint64_t seed) {
+  if (shards == 0) throw std::invalid_argument("ShardedQueue: need at least one shard");
+  shards_.reserve(shards);
+  steal_rng_.reserve(shards);
+  steals_.assign(shards, 0);
+  for (std::size_t w = 0; w < shards; ++w) {
+    shards_.push_back(std::make_unique<RequestQueue>());
+    steal_rng_.emplace_back(util::derive_seed(seed, "serve/steal/" + std::to_string(w)));
+  }
+}
+
+void ShardedQueue::push(Request r) { shards_[route(r.id)]->push(r); }
+
+std::size_t ShardedQueue::total_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->size();
+  return n;
+}
+
+std::size_t ShardedQueue::balance(std::size_t w, std::size_t max_steal) {
+  if (w >= shards_.size()) throw std::invalid_argument("ShardedQueue: bad worker index");
+  if (max_steal == 0 || shards_.size() == 1) return 0;
+  if (!shards_[w]->empty()) return 0;
+  // Cheap pre-check so an idle fleet does not burn RNG draws: only consume
+  // a victim draw when there is something to steal. (Sizes can move under
+  // us in live threaded use; steal() below re-checks under the lock and
+  // an unlucky empty scan just returns 0.)
+  bool any = false;
+  for (std::size_t v = 0; v < shards_.size() && !any; ++v)
+    any = v != w && !shards_[v]->empty();
+  if (!any) return 0;
+  // Seeded victim: a random offset over the other shards, then the first
+  // non-empty one scanning forward — one draw per attempted steal.
+  const auto offset = static_cast<std::size_t>(
+      steal_rng_[w].uniform_int(0, static_cast<int>(shards_.size()) - 2));
+  for (std::size_t probe = 0; probe < shards_.size() - 1; ++probe) {
+    std::size_t v = (offset + probe) % (shards_.size() - 1);
+    if (v >= w) ++v;  // skip self: maps [0, shards-2] onto the others
+    std::vector<Request> got = shards_[v]->steal(max_steal);
+    if (got.empty()) continue;
+    for (const Request& r : got) shards_[w]->reinsert(r);
+    ++steals_[w];
+    return got.size();
+  }
+  return 0;
+}
+
+void ShardedQueue::close_all() {
+  for (auto& s : shards_) s->close();
+}
+
+}  // namespace netcut::serve

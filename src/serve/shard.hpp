@@ -1,0 +1,67 @@
+// Sharded request queue: one RequestQueue per fleet worker, plus
+// deterministic seeded work stealing.
+//
+// A single global queue serializes every worker's batch formation on one
+// lock; sharding gives each worker its own EDF heap (push and take contend
+// only within a shard) and recovers utilization with stealing: a worker
+// whose shard runs dry takes the earliest-deadline work from a victim
+// shard. Victims are drawn from a per-worker RNG seeded by
+// derive_seed(seed, "serve/steal/<w>"), so the steal sequence — and every
+// number downstream of it — is a pure function of (config, seed): the same
+// fleet simulation is bit-identical across runs and thread counts.
+//
+// Routing is by request id (round-robin `id % shards`), which is
+// tenant-blind and keeps the mapping stable under replay. Fairness across
+// tenants is the fleet's admission-control job, not the router's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "util/rng.hpp"
+
+namespace netcut::serve {
+
+class ShardedQueue {
+ public:
+  ShardedQueue(std::size_t shards, std::uint64_t seed);
+
+  std::size_t shards() const { return shards_.size(); }
+  RequestQueue& shard(std::size_t i) { return *shards_[i]; }
+  const RequestQueue& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Shard index request `id` routes to (id % shards).
+  std::size_t route(std::uint64_t id) const { return id % shards_.size(); }
+
+  /// Route one request to shard route(id).
+  void push(Request r);
+
+  /// Backlog across all shards.
+  std::size_t total_size() const;
+
+  /// Ensure shard `w` has work: when it is dry and some other shard is
+  /// not, steal up to `max_steal` of a victim's earliest-deadline requests
+  /// into shard `w`. The victim is the first non-empty shard scanning from
+  /// a seeded random offset (worker `w`'s own stream; a draw is consumed
+  /// only when a steal is actually attempted). Returns the number stolen.
+  ///
+  /// Concurrency: safe against concurrent pushes and takes on any shard.
+  /// Each worker index must have a single caller at a time (a worker
+  /// steals only for itself), which keeps its RNG stream private.
+  std::size_t balance(std::size_t w, std::size_t max_steal);
+
+  /// Steals performed for worker `w` so far (single-caller, like balance).
+  std::int64_t steals(std::size_t w) const { return steals_[w]; }
+
+  void close_all();
+
+ private:
+  std::vector<std::unique_ptr<RequestQueue>> shards_;
+  std::vector<util::Rng> steal_rng_;     // one stream per worker
+  std::vector<std::int64_t> steals_;     // successful steal count per worker
+};
+
+}  // namespace netcut::serve

@@ -59,6 +59,36 @@ TEST(CliExitCodes, ValidBackendIsAccepted) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+TEST(CliExitCodes, WorkersZeroExitsTwo) {
+  const auto r = testing::run_command(cli("--workers 0"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--workers needs an integer >= 1"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, WorkersNonNumericExitsTwo) {
+  const auto r = testing::run_command(cli("--workers abc"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--workers needs an integer >= 1"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, WorkersTrailingGarbageExitsTwo) {
+  // Full-consumption parse: "8x" must not silently become 8 workers.
+  const auto r = testing::run_command(cli("--workers 8x"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--workers needs an integer >= 1"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, WorkersRunsTheFleetDemo) {
+  const auto r = testing::run_command(cli("--workers 2"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("fleet demo: 2 workers"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("explicit rejections"), std::string::npos) << r.output;
+}
+
 TEST(CliExitCodes, UnknownNetworkExitsTwo) {
   const auto r = testing::run_command(cli("--net NoSuchNet-9.99"));
   EXPECT_FALSE(r.signalled);

@@ -1,37 +1,48 @@
-// The serving layer: EDF queue semantics, deadline-aware batch forming,
-// the shared miss-rate watchdog, and the deterministic open-loop load
-// simulation — bit-reproducible numbers, batching beating single-request
-// service under overload, saturation triggering the Pareto-front fallback,
-// and served outputs bitwise identical to single-image forwards.
+// The serving layer: EDF queue semantics (incrementally maintained heap),
+// deadline-aware batch forming, the shared miss-rate watchdog, the
+// deterministic open-loop load simulation — and the fleet layer on top:
+// sharded queues with seeded work stealing, admission control with
+// explicit shedding, per-tenant SLO accounting, and multi-worker scaling.
 //
-// This suite carries the `serve` ctest label and runs both clean and under
-// the NETCUT_FAULTS chaos schedule in check.sh, so every assertion must
-// hold with fault injection active (the global schedule flows into
-// BatchServer by default).
+// This suite carries the `serve` ctest label and runs clean, under the
+// NETCUT_FAULTS chaos schedule, and under TSan in check.sh, so every
+// assertion must hold with fault injection active (the global schedule
+// flows into BatchServer by default). Tests that pin tight latency bounds
+// disable faults explicitly via ServeConfig::faults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "app/watchdog.hpp"
 #include "hw/device.hpp"
+#include "hw/faults.hpp"
 #include "nn/init.hpp"
 #include "nn/network.hpp"
 #include "serve/batcher.hpp"
+#include "serve/fleet.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
+#include "serve/shard.hpp"
 #include "serve_sim.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "zoo/zoo.hpp"
 
 namespace netcut {
 namespace {
 
+using serve_sim::FleetLoadConfig;
+using serve_sim::FleetReport;
 using serve_sim::LoadConfig;
 using serve_sim::SimReport;
 using tensor::Shape;
@@ -45,6 +56,11 @@ serve::Request req(std::uint64_t id, double arrival, double deadline,
   r.deadline_ms = deadline;
   r.input = input;
   return r;
+}
+
+/// Take every pending request (EDF order) from a queue.
+std::vector<serve::Request> take_all(serve::RequestQueue& q) {
+  return q.take([](const serve::Request&, std::size_t pending) { return pending; });
 }
 
 /// Memoized batched-latency curve of a zoo trunk on the simulated device.
@@ -65,6 +81,30 @@ std::shared_ptr<const nn::Graph> small_trunk() {
       zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32));
 }
 
+/// A homogeneous timing-only fleet over `n` replicas of the small trunk.
+/// Faults pinned off when `tight` (tests asserting sharp latency bounds
+/// must hold under the chaos schedule too). fallback_scale = 1.0 drops the
+/// fallback rung: a single-option fleet, whose capacity is exactly the
+/// preferred curve (the clean setup for capacity/shedding arithmetic).
+serve::Fleet make_fleet(const std::shared_ptr<const nn::Graph>& graph, std::size_t n,
+                        serve::FleetConfig cfg, double nominal_deadline_ms,
+                        bool tight = false, double fallback_scale = 0.25) {
+  std::vector<serve::FleetWorker> workers;
+  for (std::size_t w = 0; w < n; ++w) {
+    serve::FleetWorker fw;
+    fw.name = "w" + std::to_string(w);
+    fw.options = {{"preferred", nullptr, batch_curve(graph)}};
+    if (fallback_scale < 1.0)
+      fw.options.push_back({"fallback", nullptr, batch_curve(graph, fallback_scale)});
+    fw.serve.max_batch = 8;
+    fw.serve.nominal_deadline_ms = nominal_deadline_ms;
+    fw.serve.seed = util::derive_seed(7070, "fleet/worker/" + std::to_string(w));
+    if (tight) fw.serve.faults = &hw::FaultModel::disabled();
+    workers.push_back(std::move(fw));
+  }
+  return serve::Fleet(std::move(workers), std::move(cfg));
+}
+
 TEST(ServeQueue, TakeIsEdfOrderedAndAtomic) {
   serve::RequestQueue q;
   q.push(req(0, 0.0, 30.0));
@@ -72,17 +112,17 @@ TEST(ServeQueue, TakeIsEdfOrderedAndAtomic) {
   q.push(req(2, 2.0, 20.0));
   ASSERT_EQ(q.size(), 3u);
 
-  std::vector<serve::Request> seen;
-  const auto taken = q.take([&](const std::vector<serve::Request>& edf) {
-    seen = edf;
+  // The policy sees the EDF head and the backlog size under the lock...
+  serve::Request head;
+  std::size_t pending = 0;
+  const auto taken = q.take([&](const serve::Request& h, std::size_t n) {
+    head = h;
+    pending = n;
     return std::size_t{2};
   });
-  // The policy saw the whole pending set EDF-sorted...
-  ASSERT_EQ(seen.size(), 3u);
-  EXPECT_EQ(seen[0].id, 1u);
-  EXPECT_EQ(seen[1].id, 2u);
-  EXPECT_EQ(seen[2].id, 0u);
-  // ... and the earliest-deadline prefix was popped.
+  EXPECT_EQ(head.id, 1u);
+  EXPECT_EQ(pending, 3u);
+  // ... and the earliest-deadline prefix is popped in EDF order.
   ASSERT_EQ(taken.size(), 2u);
   EXPECT_EQ(taken[0].id, 1u);
   EXPECT_EQ(taken[1].id, 2u);
@@ -93,12 +133,54 @@ TEST(ServeQueue, DeadlineTiesBreakById) {
   serve::RequestQueue q;
   q.push(req(7, 0.0, 5.0));
   q.push(req(3, 1.0, 5.0));
-  const auto taken = q.take([](const std::vector<serve::Request>& edf) {
-    return edf.size();
-  });
+  const auto taken = take_all(q);
   ASSERT_EQ(taken.size(), 2u);
   EXPECT_EQ(taken[0].id, 3u);
   EXPECT_EQ(taken[1].id, 7u);
+}
+
+TEST(ServeQueue, HeapPopOrderMatchesFullEdfSort) {
+  // The heap replaced a full std::sort per take; the contract is that pop
+  // order is bit-identical to the sorted order, including deadline ties.
+  util::Rng rng(20260808);
+  std::vector<serve::Request> all;
+  serve::RequestQueue q;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    // Coarse deadlines force plenty of ties (broken by id).
+    const double deadline = static_cast<double>(rng.uniform_int(0, 40));
+    all.push_back(req(i, 0.0, deadline));
+  }
+  // Interleave pushes and partial takes to exercise incremental maintenance.
+  std::vector<serve::Request> popped;
+  std::size_t fed = 0;
+  while (popped.size() < all.size()) {
+    while (fed < all.size() && fed < popped.size() + 37) q.push(all[fed++]);
+    const auto got = q.take([&](const serve::Request&, std::size_t pending) {
+      return std::min<std::size_t>(pending, 5);
+    });
+    for (const auto& r : got) popped.push_back(r);
+  }
+  // Reference: what repeated sorted-prefix pops would have produced. With
+  // the same interleaving, that is a global merge respecting (deadline, id)
+  // among whatever was pending — replay it with a multiset-style sim.
+  std::vector<serve::Request> pend, expect;
+  fed = 0;
+  auto edf_less = [](const serve::Request& a, const serve::Request& b) {
+    if (a.deadline_ms != b.deadline_ms) return a.deadline_ms < b.deadline_ms;
+    return a.id < b.id;
+  };
+  while (expect.size() < all.size()) {
+    while (fed < all.size() && fed < expect.size() + 37) pend.push_back(all[fed++]);
+    std::sort(pend.begin(), pend.end(), edf_less);
+    const std::size_t n = std::min<std::size_t>(pend.size(), 5);
+    expect.insert(expect.end(), pend.begin(), pend.begin() + static_cast<std::ptrdiff_t>(n));
+    pend.erase(pend.begin(), pend.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  ASSERT_EQ(popped.size(), expect.size());
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i].id, expect[i].id) << "position " << i;
+    EXPECT_EQ(popped[i].deadline_ms, expect[i].deadline_ms) << "position " << i;
+  }
 }
 
 TEST(ServeQueue, CloseStopsPushesAndWakesWaiters) {
@@ -109,22 +191,119 @@ TEST(ServeQueue, CloseStopsPushesAndWakesWaiters) {
   EXPECT_THROW(q.push(req(0, 0.0, 1.0)), std::logic_error);
 }
 
+TEST(ServeQueue, ClosedQueueStillDrainsAndAcceptsReinserts) {
+  // close() stops new arrivals but in-flight work still migrates between
+  // shards and gets served: take/steal/reinsert must all work post-close.
+  serve::RequestQueue q;
+  q.push(req(0, 0.0, 5.0));
+  q.close();
+  EXPECT_THROW(q.push(req(1, 0.0, 1.0)), std::logic_error);
+  q.reinsert(req(2, 0.0, 1.0));  // stolen work re-entering
+  const auto stolen = q.steal(1);
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].id, 2u);
+  const auto rest = take_all(q);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].id, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeQueue, CloseRacesConcurrentPushers) {
+  // N threads hammer push while the main thread closes mid-stream. Every
+  // push must either land or throw logic_error — and the queue must end up
+  // holding exactly the landed ones. Run under TSan in check.sh.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  serve::RequestQueue q;
+  std::atomic<int> landed{0};
+  std::atomic<int> refused{0};
+  std::vector<std::thread> pushers;
+  pushers.reserve(kThreads);
+  for (int p = 0; p < kThreads; ++p)
+    pushers.emplace_back([&, p] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          q.push(req(static_cast<std::uint64_t>(p * kPerThread + i), 0.0, 1.0));
+          landed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::logic_error&) {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  q.close();  // races the pushers on purpose
+  for (auto& t : pushers) t.join();
+  EXPECT_EQ(landed.load() + refused.load(), kThreads * kPerThread);
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(landed.load()));
+  EXPECT_TRUE(q.closed());
+  // Drain still works and is EDF-ordered.
+  const auto drained = take_all(q);
+  EXPECT_EQ(drained.size(), static_cast<std::size_t>(landed.load()));
+}
+
+TEST(ShardedQueue, RoutesByIdAndStealsEdfHead) {
+  serve::ShardedQueue sq(2, 1234);
+  // Even ids only: everything routes to shard 0, shard 1 runs dry.
+  sq.push(req(0, 0.0, 40.0));
+  sq.push(req(2, 0.0, 10.0));
+  sq.push(req(4, 0.0, 20.0));
+  sq.push(req(6, 0.0, 30.0));
+  EXPECT_EQ(sq.shard(0).size(), 4u);
+  EXPECT_EQ(sq.shard(1).size(), 0u);
+
+  // Worker 1 steals: it takes the victim's earliest-deadline work.
+  const std::size_t stolen = sq.balance(1, 2);
+  EXPECT_EQ(stolen, 2u);
+  EXPECT_EQ(sq.steals(1), 1);
+  EXPECT_EQ(sq.shard(0).size(), 2u);
+  ASSERT_EQ(sq.shard(1).size(), 2u);
+  const auto got = take_all(sq.shard(1));
+  EXPECT_EQ(got[0].id, 2u);  // deadline 10
+  EXPECT_EQ(got[1].id, 4u);  // deadline 20
+
+  // A non-dry shard never steals.
+  sq.push(req(8, 0.0, 5.0));
+  EXPECT_EQ(sq.balance(0, 8), 0u);
+}
+
+TEST(ShardedQueue, StealFromEmptyShardSetIsANoOp) {
+  serve::ShardedQueue sq(4, 99);
+  EXPECT_EQ(sq.total_size(), 0u);
+  for (std::size_t w = 0; w < sq.shards(); ++w) {
+    EXPECT_EQ(sq.balance(w, 8), 0u);
+    EXPECT_EQ(sq.steals(w), 0);
+  }
+  EXPECT_EQ(sq.total_size(), 0u);
+  // The empty attempts consumed no RNG draws: the first real steal matches
+  // a fresh same-seed shard set's first steal bit-for-bit.
+  serve::ShardedQueue fresh(4, 99);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sq.push(req(i * 4 + 1, 0.0, static_cast<double>(i)));   // all to shard 1
+    fresh.push(req(i * 4 + 1, 0.0, static_cast<double>(i)));
+  }
+  EXPECT_EQ(sq.balance(2, 3), fresh.balance(2, 3));
+  const auto a = take_all(sq.shard(2));
+  const auto b = take_all(fresh.shard(2));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
 TEST(BatchFormer, PacksLargestBatchMeetingTheEarliestDeadline) {
   // Linear curve: lat(n) = 1 + n.
   serve::BatchFormer former({/*max_batch=*/8},
                             [](int n) { return 1.0 + static_cast<double>(n); });
-  std::vector<serve::Request> edf;
-  for (std::uint64_t i = 0; i < 10; ++i) edf.push_back(req(i, 0.0, 6.0));
-  // now=0: need 1 + n <= 6 -> n = 5 (even though 10 are pending, cap 8).
-  EXPECT_EQ(former.choose(0.0, edf), 5u);
-  // now=4: only n = 1 fits (1 + 1 <= 2 slack)... 4 + 1 + n <= 6 -> n = 1.
-  EXPECT_EQ(former.choose(4.0, edf), 1u);
-  // Already hopeless head: still serves it rather than starving the queue.
-  EXPECT_EQ(former.choose(100.0, edf), 1u);
-  // Plenty of slack: capped by max_batch.
-  for (auto& r : edf) r.deadline_ms = 1e6;
-  EXPECT_EQ(former.choose(0.0, edf), 8u);
-  EXPECT_EQ(former.choose(0.0, {}), 0u);
+  // now=0, head deadline 6, 10 pending: need 1 + n <= 6 -> n = 5.
+  EXPECT_EQ(former.choose(0.0, 6.0, 10), 5u);
+  // now=4: 4 + 1 + n <= 6 -> n = 1.
+  EXPECT_EQ(former.choose(4.0, 6.0, 10), 1u);
+  // Already hopeless head: still served — in the largest batch, since
+  // nothing can save it and full amortization drains the backlog fastest.
+  EXPECT_EQ(former.choose(100.0, 6.0, 10), 8u);
+  // Head that fits alone but not with company: batch of exactly 1.
+  EXPECT_EQ(former.choose(3.9, 6.0, 10), 1u);
+  // Plenty of slack: capped by max_batch, then by pending.
+  EXPECT_EQ(former.choose(0.0, 1e6, 10), 8u);
+  EXPECT_EQ(former.choose(0.0, 1e6, 3), 3u);
+  EXPECT_EQ(former.choose(0.0, 6.0, 0), 0u);
 }
 
 TEST(MissRateWatchdog, BreachFallsBackCooldownAndPatienceGateRecovery) {
@@ -136,14 +315,17 @@ TEST(MissRateWatchdog, BreachFallsBackCooldownAndPatienceGateRecovery) {
   cfg.recover_patience = 3;
   app::MissRateWatchdog wd(cfg, 2);
   ASSERT_TRUE(wd.adaptive());
+  EXPECT_DOUBLE_EQ(wd.window_miss_rate(), 0.0);
 
   // Fill the window with misses: the first full-window breach acts at once.
   for (int i = 0; i < 3; ++i)
     EXPECT_EQ(wd.observe(true, false).action, app::MissRateWatchdog::Action::kStay);
+  EXPECT_DOUBLE_EQ(wd.window_miss_rate(), 1.0);
   const auto fall = wd.observe(true, false);
   EXPECT_EQ(fall.action, app::MissRateWatchdog::Action::kFallBack);
   EXPECT_DOUBLE_EQ(fall.window_miss_rate, 1.0);
   EXPECT_EQ(wd.current(), 1u);
+  EXPECT_DOUBLE_EQ(wd.window_miss_rate(), 0.0);  // window resets on switch
 
   // Calm but slower-does-not-fit: never recovers.
   for (int i = 0; i < 20; ++i)
@@ -287,6 +469,233 @@ TEST(ServeSim, ServedOutputsBitwiseIdenticalToSingleImageForwards) {
         << "request " << c.id << " (batch " << c.batch << ")";
   }
   EXPECT_TRUE(saw_multi) << "load never formed a multi-request batch";
+}
+
+TEST(FleetSim, SameSeedBitIdenticalIncludingPerTenantReport) {
+  // The fleet contract at scale: (config, seed) fully determines the
+  // completion stream, work stealing, shedding and every per-tenant
+  // number. 20k requests over a 3-worker fleet, two tenants.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  serve::FleetConfig fc;
+  fc.classes = {{"gold", 4.0 * curve(1), 4.0 * curve(1), 3.0},
+                {"standard", 8.0 * curve(1), 8.0 * curve(1), 1.0}};
+  FleetLoadConfig load;
+  load.requests = 20000;
+  load.mean_interarrival_ms = curve(8) / 8.0 / 2.5;  // ~2.5 workers' worth
+  load.tenants = {{11, 0, 1.0}, {22, 1, 2.0}};
+
+  auto run = [&] {
+    serve::Fleet fleet = make_fleet(g, 3, fc, fc.classes[0].deadline_slack_ms);
+    return serve_sim::run_fleet_open_loop(
+        fleet, serve_sim::generate_fleet_arrivals(load, fc.classes, {}));
+  };
+  const FleetReport a = run();
+  const FleetReport b = run();
+  EXPECT_EQ(a.submitted, 20000);
+  EXPECT_EQ(a.shed + a.served, 20000);
+  ASSERT_EQ(a.tenants.size(), 2u);
+  EXPECT_TRUE(serve_sim::fleet_reports_identical(a, b));
+}
+
+TEST(FleetSim, BitIdenticalAtOneAndEightThreads) {
+  // NETCUT_THREADS parallelizes the kernels inside forward_batch, never the
+  // event loop or the steal streams — so a compute-backed fleet run is
+  // bit-identical (reports AND output tensors) at any thread count.
+  nn::Graph g = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32);
+  util::Rng rng(616);
+  nn::init_graph(g, rng);
+  auto graph_ptr = std::make_shared<const nn::Graph>(g);
+  const auto curve = batch_curve(graph_ptr);
+
+  serve::FleetConfig fc;
+  fc.classes = {{"standard", 6.0 * curve(1), 6.0 * curve(1), 1.0}};
+  FleetLoadConfig load;
+  load.requests = 96;
+  load.mean_interarrival_ms = curve(8) / 8.0 / 1.5;
+  load.tenants = {{1, 0, 1.0}, {2, 0, 1.0}};
+
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 5; ++i) pool.push_back(Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f));
+  const auto arrivals = serve_sim::generate_fleet_arrivals(load, fc.classes, pool);
+
+  auto run = [&](int threads, std::vector<serve::Completion>& cap) {
+    util::set_num_threads(threads);
+    std::vector<std::unique_ptr<nn::Network>> nets;
+    std::vector<serve::FleetWorker> workers;
+    for (std::size_t w = 0; w < 2; ++w) {
+      nets.push_back(std::make_unique<nn::Network>(*graph_ptr));
+      serve::FleetWorker fw;
+      fw.options = {{"trn", nets.back().get(), batch_curve(graph_ptr)}};
+      fw.serve.nominal_deadline_ms = fc.classes[0].deadline_slack_ms;
+      workers.push_back(std::move(fw));
+    }
+    serve::Fleet fleet(std::move(workers), fc);
+    return serve_sim::run_fleet_open_loop(fleet, arrivals, &cap);
+  };
+  std::vector<serve::Completion> cap1, cap8;
+  const FleetReport r1 = run(1, cap1);
+  const FleetReport r8 = run(8, cap8);
+  util::set_num_threads(util::default_thread_count());
+
+  EXPECT_TRUE(serve_sim::fleet_reports_identical(r1, r8));
+  ASSERT_EQ(cap1.size(), cap8.size());
+  for (std::size_t i = 0; i < cap1.size(); ++i) {
+    ASSERT_EQ(cap1[i].id, cap8[i].id);
+    ASSERT_EQ(cap1[i].output.shape(), cap8[i].output.shape());
+    if (cap1[i].output.numel() > 0)
+      ASSERT_EQ(std::memcmp(cap1[i].output.data(), cap8[i].output.data(),
+                            sizeof(float) * static_cast<std::size_t>(cap1[i].output.numel())),
+                0)
+          << "request " << cap1[i].id;
+  }
+}
+
+TEST(FleetSim, FourWorkersSustainTripleOneWorkerThroughput) {
+  // The scale-out headline, small edition (the bench pins it at fleet
+  // scale): offered load ~6x one worker's batched capacity; four replicas
+  // absorb ~4x what one does, at no worse an admitted miss rate.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  serve::FleetConfig fc;
+  fc.classes = {{"standard", 6.0 * curve(1), 6.0 * curve(1), 1.0}};
+  FleetLoadConfig load;
+  load.requests = 30000;
+  load.mean_interarrival_ms = curve(8) / 8.0 / 6.0;  // ~6x one worker
+  load.tenants = {{1, 0, 1.0}};
+
+  auto run = [&](std::size_t workers) {
+    serve::Fleet fleet = make_fleet(g, workers, fc, fc.classes[0].deadline_slack_ms,
+                                    /*tight=*/true, /*fallback_scale=*/1.0);
+    return serve_sim::run_fleet_open_loop(
+        fleet, serve_sim::generate_fleet_arrivals(load, fc.classes, {}));
+  };
+  const FleetReport one = run(1);
+  const FleetReport four = run(4);
+  EXPECT_GE(four.throughput_rps, 3.0 * one.throughput_rps)
+      << "four=" << four.throughput_rps << " one=" << one.throughput_rps;
+  EXPECT_LE(four.miss_rate, one.miss_rate + 0.01);
+  EXPECT_LT(four.shed_rate, one.shed_rate);  // more capacity, less shedding
+  // Balanced round-robin routing never leaves a shard dry while work is
+  // pending elsewhere, so no steals — skew is exercised separately below.
+  EXPECT_EQ(four.steals, 0);
+}
+
+TEST(FleetSim, WorkStealingRecoversUtilizationUnderSkewedRouting) {
+  // Same fleet and load as the scaling test, but every request id is
+  // multiplied by the worker count, so id % workers routes 100% of the
+  // traffic to shard 0. Without stealing, three of four workers would
+  // idle and throughput would collapse to one worker's; with it, dry
+  // workers pull the EDF-earliest work over and aggregate throughput
+  // stays at the balanced fleet's level.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  serve::FleetConfig fc;
+  fc.classes = {{"standard", 6.0 * curve(1), 6.0 * curve(1), 1.0}};
+  FleetLoadConfig load;
+  load.requests = 30000;
+  load.mean_interarrival_ms = curve(8) / 8.0 / 6.0;
+  load.tenants = {{1, 0, 1.0}};
+
+  auto run = [&](bool skew) {
+    auto arrivals = serve_sim::generate_fleet_arrivals(load, fc.classes, {});
+    if (skew)
+      for (serve::Request& r : arrivals) r.id *= 4;
+    serve::Fleet fleet = make_fleet(g, 4, fc, fc.classes[0].deadline_slack_ms,
+                                    /*tight=*/true, /*fallback_scale=*/1.0);
+    return serve_sim::run_fleet_open_loop(fleet, arrivals);
+  };
+  const FleetReport balanced = run(false);
+  const FleetReport skewed = run(true);
+  EXPECT_GT(skewed.steals, 1000);  // stealing carried most of three workers' load
+  EXPECT_GE(skewed.throughput_rps, 0.8 * balanced.throughput_rps)
+      << "skewed=" << skewed.throughput_rps << " balanced=" << balanced.throughput_rps;
+  EXPECT_LT(skewed.miss_rate, 0.02);
+}
+
+TEST(FleetSim, AdmissionShedsExplicitlyAndBoundsAdmittedTail) {
+  // 2x overload: admission control turns the overflow into explicit
+  // Rejected completions instead of a growing queue of silent misses —
+  // admitted requests keep their p99 within the SLO class budget.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  serve::FleetConfig fc;
+  fc.classes = {{"standard", 6.0 * curve(1), 6.0 * curve(1), 1.0}};
+  fc.pressure_backlog = 32;
+  FleetLoadConfig load;
+  load.requests = 40000;
+  load.mean_interarrival_ms = curve(8) / 8.0 / 2.0 / 2.0;  // 2x a 2-worker fleet
+  load.tenants = {{5, 0, 1.0}};
+
+  serve::Fleet fleet = make_fleet(g, 2, fc, fc.classes[0].deadline_slack_ms,
+                                  /*tight=*/true, /*fallback_scale=*/1.0);
+  const FleetReport rep = serve_sim::run_fleet_open_loop(
+      fleet, serve_sim::generate_fleet_arrivals(load, fc.classes, {}));
+
+  EXPECT_GT(rep.shed, 0);
+  EXPECT_NEAR(rep.shed_rate, 0.5, 0.15);  // ~half the 2x overload is shed
+  EXPECT_LE(rep.p99_response_ms, fc.classes[0].p99_budget_ms)
+      << "admitted p99 " << rep.p99_response_ms << " budget " << fc.classes[0].p99_budget_ms;
+  EXPECT_LT(rep.miss_rate, 0.02);
+  EXPECT_EQ(rep.shed + rep.served, rep.submitted);  // nothing silently lost
+}
+
+TEST(FleetSim, BurstyTenantShedsItsOwnOverflowNotOthers) {
+  // Three tenants; tenant 99 goes 8x bursty mid-run, tripling the offered
+  // load. Weighted admission makes the burst shed fall on tenant 99 while
+  // the well-behaved tenants keep serving within their budgets.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  serve::FleetConfig fc;
+  fc.classes = {{"gold", 5.0 * curve(1), 5.0 * curve(1), 3.0},
+                {"standard", 9.0 * curve(1), 9.0 * curve(1), 1.0}};
+  fc.pressure_backlog = 24;
+  const double base_rate = curve(8) / 8.0 / 2.0 / 0.8;  // ~80% of a 2-worker fleet
+  FleetLoadConfig load;
+  load.requests = 60000;
+  load.mean_interarrival_ms = base_rate;
+  load.tenants = {{99, 1, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}};
+  const double span = base_rate * 60000.0;
+  constexpr std::size_t kNoBoost = static_cast<std::size_t>(-1);
+  load.phases = {{span * 0.3, 1.0, kNoBoost, 1.0},
+                 {span * 0.2, 3.0, 0, 8.0},  // tenant 99 bursts 8x, total ~3x
+                 {span * 0.5, 1.0, kNoBoost, 1.0}};
+
+  serve::Fleet fleet = make_fleet(g, 2, fc, fc.classes[0].deadline_slack_ms, /*tight=*/true);
+  const FleetReport rep = serve_sim::run_fleet_open_loop(
+      fleet, serve_sim::generate_fleet_arrivals(load, fc.classes, {}));
+
+  ASSERT_EQ(rep.tenants.size(), 3u);
+  const serve_sim::TenantReport& bursty = rep.tenants.at(99);
+  const serve_sim::TenantReport& gold = rep.tenants.at(1);
+  const serve_sim::TenantReport& standard = rep.tenants.at(2);
+  // The burst is shed from the bursty tenant, explicitly.
+  EXPECT_GT(bursty.shed_rate, 5.0 * gold.shed_rate);
+  EXPECT_GT(bursty.shed_rate, 0.1);
+  // The others keep their service level.
+  EXPECT_LT(gold.shed_rate, 0.05);
+  EXPECT_LT(gold.miss_rate, 0.02);
+  EXPECT_LE(gold.p99_response_ms, fc.classes[0].p99_budget_ms);
+  EXPECT_LT(standard.miss_rate, 0.05);
+}
+
+TEST(Fleet, ValidatesConfigAndSloReferences) {
+  const auto g = small_trunk();
+  EXPECT_THROW(serve::Fleet({}, serve::FleetConfig{}), std::invalid_argument);
+  serve::FleetConfig no_classes;
+  no_classes.classes.clear();
+  std::vector<serve::FleetWorker> one;
+  serve::FleetWorker fw;
+  fw.options = {{"trn", nullptr, batch_curve(g)}};
+  one.push_back(fw);
+  EXPECT_THROW(serve::Fleet(std::move(one), no_classes), std::invalid_argument);
+
+  std::vector<serve::FleetWorker> two;
+  two.push_back(fw);
+  serve::Fleet fleet(std::move(two), serve::FleetConfig{});
+  serve::Request r = req(0, 0.0, 1.0);
+  r.slo = 7;  // out of range
+  EXPECT_THROW(fleet.submit(r, 0.0), std::invalid_argument);
 }
 
 }  // namespace
