@@ -20,13 +20,25 @@
 # 6. AddressSanitizer (build-asan/): thread pool, memory planner, graph
 #    verifier and kernel-backend tests — the subsystems that juggle raw
 #    lifetimes plus the hand-packed AVX2/FMA panels
-# 7. ThreadSanitizer (build-tsan/): the serving layer (ctest -L serve),
-#    clean and again under the chaos schedule — the sharded queue, work
-#    stealing and fleet loop are the lock-heavy surface of the tree
-# 8. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
+# 7. model checker (ctest -L sched): the schedule-exploration campaigns —
+#    every serve protocol under >= 200 seeded schedules plus
+#    bounded-exhaustive prefixes — clean, under the chaos schedule, and the
+#    serve suite once more with the runtime lock-discipline analyzer armed
+#    (NETCUT_LOCKCHECK=1: any rank inversion or held-while-blocking aborts)
+# 8. negative tests (tests/negative/): prove the guards can still see —
+#    the schedule explorer must catch a seeded lost wakeup + handlock, and
+#    TSan must report a seeded data race; a "pass" from a blind analyzer
+#    fails here
+# 9. ThreadSanitizer (build-tsan/): the serving layer and the model-checker
+#    suites (ctest -L "serve|sched"), clean and again under the chaos
+#    schedule — the sharded queue, work stealing, fleet loop and the
+#    scheduler's own handoff protocol are the lock-heavy surface
+# 10. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
 #    -fno-sanitize-recover=all, so any UB aborts the run
-# 9. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
-#    has no clang-tidy)
+# 11. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
+#    has no clang-tidy; any finding exits nonzero)
+# 12. clang -Wthread-safety over the annotated concurrency surface
+#    (scripts/threadsafety.sh; skips cleanly when the host has no clang++)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,49 +64,65 @@ label_summary() {
   done < <(ctest --test-dir build --print-labels | sed -n 's/^  //p')
 }
 
-echo "==> [1/9] configure + build (build/, -Werror)"
+echo "==> [1/12] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/9] ctest (full tier-1 suite)"
+echo "==> [2/12] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/9] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
+echo "==> [3/12] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [4/9] serving layer (ctest -L serve, clean + chaos)"
+echo "==> [4/12] serving layer (ctest -L serve, clean + chaos)"
 ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 label_summary
 
-echo "==> [5/9] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
+echo "==> [5/12] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
 NETCUT_BACKEND=scalar \
   ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
 NETCUT_BACKEND=simd \
   ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
 
-echo "==> [6/9] ASan: thread pool + memory planner + verifier + kernel backends"
+echo "==> [6/12] ASan: thread pool + memory planner + verifier + kernel backends"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$(nproc)" \
   --target test_util_threadpool test_nn_memplan test_nn_verify test_tensor_backends
 ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify|Backends' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [7/9] TSan: serving layer (ctest -L serve, clean + chaos)"
-cmake -B build-tsan -S . -DNETCUT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target test_serve
-ctest --test-dir build-tsan -L serve --output-on-failure -j "$(nproc)"
+echo "==> [7/12] model checker (ctest -L sched, clean + chaos + lockcheck)"
+ctest --test-dir build -L sched --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
-  ctest --test-dir build-tsan -L serve --output-on-failure -j "$(nproc)"
+  ctest --test-dir build -L sched --output-on-failure -j "$(nproc)"
+# Live lock-discipline pass: the whole serving suite with the runtime
+# rank analyzer armed — any order inversion or held-while-blocking aborts.
+NETCUT_LOCKCHECK=1 \
+  ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 
-echo "==> [8/9] UBSan: full tier-1 suite"
+echo "==> [8/12] negative tests (seeded bugs must be caught)"
+./tests/negative/sched_catches_lost_wakeup.sh build/tests/test_sched
+./tests/negative/tsan_catches_race.sh
+
+echo "==> [9/12] TSan: serve + sched (ctest -L serve|sched, clean + chaos)"
+cmake -B build-tsan -S . -DNETCUT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target test_serve test_sched
+ctest --test-dir build-tsan -L 'serve|sched' --output-on-failure -j "$(nproc)"
+NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
+  ctest --test-dir build-tsan -L 'serve|sched' --output-on-failure -j "$(nproc)"
+
+echo "==> [10/12] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 
-echo "==> [9/9] clang-tidy"
+echo "==> [11/12] clang-tidy"
 ./scripts/tidy.sh
+
+echo "==> [12/12] clang thread-safety analysis"
+./scripts/threadsafety.sh
 
 echo "==> check passed"

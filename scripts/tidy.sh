@@ -32,8 +32,11 @@ fi
 
 # -march=native in the DB can postdate the bundled clang's ISA tables;
 # strip it so tidy parses with its own defaults rather than erroring out.
+#
+# --warnings-as-errors='*' promotes EVERY enabled finding to an error so
+# this script exits nonzero on any hit — tidy is a gate, not a report.
 mapfile -t sources < <(find src -name '*.cpp' | sort)
 echo "tidy: $TIDY over ${#sources[@]} translation units"
 "$TIDY" -p build --extra-arg=-Wno-unknown-warning-option \
-  --extra-arg=-march=x86-64-v2 "$@" "${sources[@]}"
+  --extra-arg=-march=x86-64-v2 --warnings-as-errors='*' "$@" "${sources[@]}"
 echo "tidy: clean"

@@ -22,6 +22,7 @@ void MissRateWatchdog::reset_window() {
 }
 
 MissRateWatchdog::Decision MissRateWatchdog::observe(bool missed, bool slower_fits) {
+  util::MutexLock lock(mu_);
   Decision d;
   // Slide the window, then act on it once it is full.
   win_miss_ += (missed ? 1 : 0) - window_[static_cast<std::size_t>(win_pos_)];

@@ -18,6 +18,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/ranked_mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace netcut::app {
 
 struct WatchdogConfig {
@@ -54,13 +57,19 @@ class MissRateWatchdog {
   bool adaptive() const { return config_.enabled && option_count_ > 1; }
 
   /// Index into the Pareto front currently in service (0 = preferred).
-  std::size_t current() const { return current_; }
+  /// Safe from any thread: the window state is mutex-guarded, so live
+  /// reporting (fleet dashboards) may race the serving thread's observe().
+  std::size_t current() const {
+    util::MutexLock lock(mu_);
+    return current_;
+  }
 
   /// Miss rate over the observations currently in the sliding window
   /// (0 while the window is empty, e.g. right after a switch). A live
   /// health signal for dashboards/fleet reports; decisions still act only
   /// on full windows.
   double window_miss_rate() const {
+    util::MutexLock lock(mu_);
     return win_count_ > 0 ? static_cast<double>(win_miss_) / static_cast<double>(win_count_)
                           : 0.0;
   }
@@ -74,17 +83,19 @@ class MissRateWatchdog {
   Decision observe(bool missed, bool slower_fits);
 
  private:
-  void reset_window();
+  void reset_window() NETCUT_REQUIRES(mu_);
 
-  WatchdogConfig config_;
-  std::size_t option_count_;
-  std::size_t current_ = 0;
-  std::vector<char> window_;
-  int win_count_ = 0;
-  int win_pos_ = 0;
-  int win_miss_ = 0;
-  int frames_since_switch_;  // starts cooled: the first breach acts at once
-  int calm_streak_ = 0;
+  WatchdogConfig config_;       // immutable after construction
+  std::size_t option_count_;    // immutable after construction
+  mutable util::RankedMutex mu_{util::rank::kWatchdog, "app/watchdog"};
+  std::size_t current_ NETCUT_GUARDED_BY(mu_) = 0;
+  std::vector<char> window_ NETCUT_GUARDED_BY(mu_);
+  int win_count_ NETCUT_GUARDED_BY(mu_) = 0;
+  int win_pos_ NETCUT_GUARDED_BY(mu_) = 0;
+  int win_miss_ NETCUT_GUARDED_BY(mu_) = 0;
+  // Starts cooled: the first breach acts at once.
+  int frames_since_switch_ NETCUT_GUARDED_BY(mu_);
+  int calm_streak_ NETCUT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace netcut::app

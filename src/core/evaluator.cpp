@@ -61,7 +61,7 @@ TrnEvaluator::NetState& TrnEvaluator::state(zoo::NetId base) {
   // Held across materialization: concurrent callers for the same base block
   // until the one extraction pass finishes, then share the features
   // (std::map references stay valid across later insertions).
-  std::lock_guard<std::mutex> lock(states_mutex_);
+  util::MutexLock lock(states_mutex_);
   auto it = states_.find(base);
   if (it != states_.end()) return it->second;
 
@@ -120,6 +120,7 @@ TrnEvaluator::NetState& TrnEvaluator::state(zoo::NetId base) {
 const std::vector<int>& TrnEvaluator::cutpoints(zoo::NetId base) {
   // Graph structure (and so node ids) is resolution-independent, so this
   // must not trigger the expensive feature-extraction path.
+  util::MutexLock lock(states_mutex_);
   auto it = structure_.find(base);
   if (it == structure_.end()) {
     const nn::Graph trunk = zoo::build_trunk(base, config_.resolution);
@@ -233,7 +234,7 @@ void TrnEvaluator::append_cache(const std::string& key, const AccuracyResult& r)
 AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {
   const std::string key = cache_key(base, cut_node);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(cache_mutex_);
     if (!cache_loaded_) load_cache();
     if (auto it = cache_.find(key); it != cache_.end()) return it->second;
   }
@@ -256,7 +257,7 @@ AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {
       util::derive_seed(config_.seed, key);
   const AccuracyResult r = train_head_on_features(train_x, train_y, test_x, test_y, seed);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(cache_mutex_);
     cache_[key] = r;
     append_cache(key, r);
   }

@@ -16,7 +16,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +23,8 @@
 #include "data/hands.hpp"
 #include "data/pretrained.hpp"
 #include "nn/network.hpp"
+#include "util/ranked_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace netcut::core {
 
@@ -82,7 +83,10 @@ class TrnEvaluator {
   /// Malformed/truncated rows skipped by the last cache load (a crash
   /// mid-append leaves a torn last line; corrupted rows are dropped with a
   /// warning and the cache file is healed in place).
-  int cache_rows_skipped() const { return cache_rows_skipped_; }
+  int cache_rows_skipped() const {
+    util::MutexLock lock(cache_mutex_);
+    return cache_rows_skipped_;
+  }
 
   /// Direct head training on explicit feature vectors (exposed for tests
   /// and the EMG classifier, which shares the training loop).
@@ -103,19 +107,28 @@ class TrnEvaluator {
 
   NetState& state(zoo::NetId base);
   std::string cache_key(zoo::NetId base, int cut_node) const;
-  void load_cache();
-  void append_cache(const std::string& key, const AccuracyResult& r);
+  void load_cache() NETCUT_REQUIRES(cache_mutex_);
+  void append_cache(const std::string& key, const AccuracyResult& r)
+      NETCUT_REQUIRES(cache_mutex_);
 
   const data::HandsDataset& dataset_;
-  EvalConfig config_;
-  std::uint64_t config_hash_;
-  std::map<zoo::NetId, NetState> states_;
-  std::map<zoo::NetId, std::vector<int>> structure_;  // cutpoints w/o features
-  std::map<std::string, AccuracyResult> cache_;
-  bool cache_loaded_ = false;
-  int cache_rows_skipped_ = 0;
-  std::mutex states_mutex_;  // guards states_ (held across materialization)
-  std::mutex cache_mutex_;   // guards cache_, cache_loaded_, the memo file
+  EvalConfig config_;          // immutable after construction
+  std::uint64_t config_hash_;  // immutable after construction
+  /// Guards states_ and structure_; held across a base's one-time feature
+  /// materialization so concurrent callers share a single extraction pass.
+  /// Rank kEvalStates: the materialization fans out over the thread pool
+  /// (kPool) underneath it; map entries are immutable once inserted and
+  /// their references stay valid, so readers of a *materialized* state
+  /// need no lock.
+  mutable util::RankedMutex states_mutex_{util::rank::kEvalStates, "core/evaluator.states"};
+  /// Guards cache_, cache_loaded_, cache_rows_skipped_, the memo file.
+  mutable util::RankedMutex cache_mutex_{util::rank::kEvalCache, "core/evaluator.cache"};
+  std::map<zoo::NetId, NetState> states_ NETCUT_GUARDED_BY(states_mutex_);
+  // cutpoints w/o features
+  std::map<zoo::NetId, std::vector<int>> structure_ NETCUT_GUARDED_BY(states_mutex_);
+  std::map<std::string, AccuracyResult> cache_ NETCUT_GUARDED_BY(cache_mutex_);
+  bool cache_loaded_ NETCUT_GUARDED_BY(cache_mutex_) = false;
+  int cache_rows_skipped_ NETCUT_GUARDED_BY(cache_mutex_) = 0;
 };
 
 }  // namespace netcut::core

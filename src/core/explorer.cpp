@@ -84,6 +84,9 @@ std::uint64_t BlockwiseExplorer::journal_key() const {
 }
 
 void BlockwiseExplorer::set_journal(const std::string& path) {
+  // Setup-time API, but the journal state is guarded so the load cannot
+  // race a straggling sweep's appends.
+  util::MutexLock lock(journal_mutex_);
   journal_path_ = path;
   journal_.clear();
   journal_hits_ = 0;
@@ -185,6 +188,7 @@ std::vector<Candidate> BlockwiseExplorer::evaluate_cuts(
   // call order — are identical to an uninterrupted sweep.
   std::vector<bool> journaled(out.size(), false);
   if (!journal_path_.empty()) {
+    util::MutexLock lock(journal_mutex_);
     for (std::size_t i = 0; i < out.size(); ++i) {
       const auto it = journal_.find({out[i].base_name, out[i].cut_node});
       if (it == journal_.end()) continue;
@@ -214,7 +218,7 @@ std::vector<Candidate> BlockwiseExplorer::evaluate_cuts(
           c.accuracy = acc.angular_similarity;
           c.top1 = acc.top1;
           if (!journal_path_.empty()) {
-            std::lock_guard<std::mutex> lock(journal_mutex_);
+            util::MutexLock lock(journal_mutex_);
             journal_[{c.base_name, c.cut_node}] = {c.accuracy, c.top1};
             journal_append(c.base_name, c.cut_node, {c.accuracy, c.top1});
           }

@@ -5,13 +5,14 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/lab.hpp"
+#include "util/ranked_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace netcut::core {
 
@@ -59,7 +60,10 @@ class BlockwiseExplorer {
   void set_journal(const std::string& path);
 
   /// Retrainings skipped thanks to journal rows (diagnostics for tests).
-  int journal_hits() const { return journal_hits_; }
+  int journal_hits() const {
+    util::MutexLock lock(journal_mutex_);
+    return journal_hits_;
+  }
 
  private:
   /// Candidate with all LatencyLab-derived fields filled, accuracy pending.
@@ -72,16 +76,20 @@ class BlockwiseExplorer {
 
   /// Configuration identity stamped into the journal header.
   std::uint64_t journal_key() const;
-  void journal_append(const std::string& base_name, int cut_node, const AccuracyResult& r);
+  void journal_append(const std::string& base_name, int cut_node, const AccuracyResult& r)
+      NETCUT_REQUIRES(journal_mutex_);
 
   LatencyLab& lab_;
   TrnEvaluator& evaluator_;
 
-  std::string journal_path_;
+  std::string journal_path_;  // set at setup time, stable during sweeps
+  /// Guards the journal memo, the hit counter, and the append-only file
+  /// (pool workers publish completed retrainings concurrently).
+  mutable util::RankedMutex journal_mutex_{util::rank::kJournal, "core/explorer.journal"};
   // Completed (base_name, cut_node) -> accuracy, loaded from the journal.
-  std::map<std::pair<std::string, int>, AccuracyResult> journal_;
-  int journal_hits_ = 0;
-  std::mutex journal_mutex_;  // guards journal_hits_ and file appends
+  std::map<std::pair<std::string, int>, AccuracyResult> journal_
+      NETCUT_GUARDED_BY(journal_mutex_);
+  int journal_hits_ NETCUT_GUARDED_BY(journal_mutex_) = 0;
 };
 
 }  // namespace netcut::core

@@ -2,6 +2,13 @@
 // minutes of CPU; the resulting weights depend only on (network, input
 // resolution, PretrainedConfig), so they are serialized once per
 // configuration and reloaded by every later evaluator / example / bench.
+//
+// Concurrency contract: these are stateless free functions — no globals,
+// no caches in memory — so there is nothing to annotate (see DESIGN.md
+// section 13). Cross-process/thread safety of the on-disk cache comes from
+// the write protocol instead: writes go to a tmp file and rename into
+// place, so two racing writers produce one winner and zero torn files, and
+// a concurrent reader sees either the old complete file or the new one.
 #pragma once
 
 #include <string>

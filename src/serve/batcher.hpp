@@ -29,6 +29,14 @@ struct BatcherConfig {
   int max_batch = 8;
 };
 
+/// Thread-safety: a BatchFormer is immutable after construction (choose is
+/// const and touches only the config and the latency callback), so it
+/// needs no lock of its own. Callers must ensure the latency callback is
+/// itself safe to invoke concurrently — the server's callback reads the
+/// watchdog's current option, which is internally synchronized. Note that
+/// RequestQueue::take invokes choose() while holding the queue lock (rank
+/// kQueue), so the callback may acquire only higher-ranked locks (the
+/// watchdog's kWatchdog qualifies).
 class BatchFormer {
  public:
   /// `batch_latency_ms(n)` estimates the service time of a batch of n on

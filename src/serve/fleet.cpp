@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/schedule.hpp"
+
 namespace netcut::serve {
 
 Fleet::Fleet(std::vector<FleetWorker> workers, FleetConfig config)
@@ -20,6 +22,7 @@ Fleet::Fleet(std::vector<FleetWorker> workers, FleetConfig config)
   names_.reserve(workers.size());
   servers_.reserve(workers.size());
   busy_until_ms_.assign(workers.size(), -std::numeric_limits<double>::infinity());
+  serving_.assign(workers.size(), 0);
   max_batch_.reserve(workers.size());
   for (std::size_t w = 0; w < workers.size(); ++w) {
     FleetWorker& spec = workers[w];
@@ -119,39 +122,64 @@ bool Fleet::over_fair_share(const Request& r) const {
 std::optional<Completion> Fleet::submit(const Request& r, double now_ms) {
   if (r.slo >= config_.classes.size())
     throw std::invalid_argument("Fleet: request references unknown SLO class");
-  TenantCounters& tc = tenants_[r.tenant];
-  tc.slo = r.slo;
-  ++tc.submitted;
-  ++stats_.submitted;
+  {
+    util::MutexLock lock(mu_);
+    TenantCounters& tc = tenants_[r.tenant];
+    tc.slo = r.slo;
+    ++tc.submitted;
+    ++stats_.submitted;
 
-  const bool pressured = queue_.total_size() >= config_.pressure_backlog;
-  if (config_.admission &&
-      (!feasible(r, now_ms) || (pressured && over_fair_share(r)))) {
-    ++tc.shed;
-    ++stats_.shed;
-    Completion c;
-    c.id = r.id;
-    c.arrival_ms = r.arrival_ms;
-    c.deadline_ms = r.deadline_ms;
-    c.tenant = r.tenant;
-    c.slo = r.slo;
-    c.finish_ms = now_ms;
-    c.rejected = true;
-    return c;
+    const bool pressured = queue_.total_size() >= config_.pressure_backlog;
+    if (config_.admission &&
+        (!feasible(r, now_ms) || (pressured && over_fair_share(r)))) {
+      ++tc.shed;
+      ++stats_.shed;
+      Completion c;
+      c.id = r.id;
+      c.arrival_ms = r.arrival_ms;
+      c.deadline_ms = r.deadline_ms;
+      c.tenant = r.tenant;
+      c.slo = r.slo;
+      c.finish_ms = now_ms;
+      c.rejected = true;
+      return c;
+    }
+
+    // Count the admission before the push lands: a concurrent stats reader
+    // in the window below must still see submitted == shed + served +
+    // in flight.
+    ++inflight_[r.tenant];
+    ++inflight_total_;
   }
-
-  ++inflight_[r.tenant];
-  ++inflight_total_;
+  // Admitted-but-not-yet-enqueued window: the request is counted in flight
+  // but in no shard. The model checker interleaves steppers and other
+  // submitters here to prove the conservation invariant and that a stepper
+  // racing this push merely finds a dry shard (no lost request, no lost
+  // wakeup once it lands).
+  util::sched::yield("fleet.submit.admit-to-push");
   queue_.push(r);
   return std::nullopt;
 }
 
 std::vector<Completion> Fleet::step(double now_ms) {
   for (std::size_t w = 0; w < servers_.size(); ++w) {
-    if (busy_until_ms_[w] > now_ms) continue;
+    // Claim the worker under the lock, serve it outside: the replica's
+    // step runs the batch forward (which may block on the thread pool's
+    // completion wait), so the fleet lock must not be held across it. The
+    // serving_ flag keeps a concurrent stepper from double-serving the
+    // claimed replica in that window.
+    {
+      util::MutexLock lock(mu_);
+      if (serving_[w] != 0 || busy_until_ms_[w] > now_ms) continue;
+      serving_[w] = 1;
+    }
+    util::sched::yield("fleet.step.claimed");
     if (queue_.shard(w).empty()) queue_.balance(w, max_batch_[w]);
-    if (queue_.shard(w).empty()) continue;
-    std::vector<Completion> done = servers_[w]->step(now_ms);
+    std::vector<Completion> done;
+    if (!queue_.shard(w).empty()) done = servers_[w]->step(now_ms);
+
+    util::MutexLock lock(mu_);
+    serving_[w] = 0;
     if (done.empty()) continue;
     busy_until_ms_[w] = done.front().finish_ms;
     for (Completion& c : done) {
@@ -170,6 +198,7 @@ std::vector<Completion> Fleet::step(double now_ms) {
 }
 
 double Fleet::next_free_after(double now_ms) const {
+  util::MutexLock lock(mu_);
   double next = std::numeric_limits<double>::infinity();
   for (const double busy : busy_until_ms_)
     if (busy > now_ms) next = std::min(next, busy);
@@ -178,10 +207,15 @@ double Fleet::next_free_after(double now_ms) const {
 
 void Fleet::close() { queue_.close_all(); }
 
-const FleetStats& Fleet::stats() const {
-  stats_.steals = 0;
-  for (std::size_t w = 0; w < servers_.size(); ++w) stats_.steals += queue_.steals(w);
-  return stats_;
+FleetStats Fleet::stats() const {
+  FleetStats s;
+  {
+    util::MutexLock lock(mu_);
+    s = stats_;
+  }
+  s.steals = 0;
+  for (std::size_t w = 0; w < servers_.size(); ++w) s.steals += queue_.steals(w);
+  return s;
 }
 
 }  // namespace netcut::serve

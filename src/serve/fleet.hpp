@@ -25,6 +25,20 @@
 // deterministic: callers pass `now_ms`, every random choice draws from
 // seeded streams, and the same (config, seed) reproduces the same
 // completions bit-for-bit at any NETCUT_THREADS setting.
+//
+// Concurrency contract. submit(), step(), stats(), tenants(),
+// next_free_after() and backlog() are safe to call from any thread.
+// Admission/accounting state lives under mu_ (rank kFleet, below every
+// other lock in the system); a stepper claims a worker under mu_ via its
+// serving_ flag, then runs the replica's BatchServer::step with NO fleet
+// lock held (the batch forward reaches the thread pool's completion wait,
+// which must never happen under a serve lock), and re-acquires mu_ only
+// for completion accounting. The admission decision is made against a
+// backlog snapshot and the push lands after the lock is released — the
+// conservation invariant (submitted == shed + served + in flight) holds
+// at every interleaving because inflight is counted at admit time, and
+// the model checker (tests/test_sched.cpp) drives submit against
+// concurrent shedding and stepping to prove it.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +51,8 @@
 
 #include "serve/server.hpp"
 #include "serve/shard.hpp"
+#include "util/ranked_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace netcut::serve {
 
@@ -131,24 +147,40 @@ class Fleet {
   /// No more submissions; shards keep serving (and stealing) until drained.
   void close();
 
-  const FleetStats& stats() const;
-  /// Deterministically ordered (by tenant id) per-tenant counters.
-  const std::map<std::uint32_t, TenantCounters>& tenants() const { return tenants_; }
+  /// Snapshot of the fleet-wide counters (by value: guarded state must not
+  /// leak out as a reference). steals is recomputed from the shard
+  /// counters on every call.
+  FleetStats stats() const;
+  /// Deterministically ordered (by tenant id) snapshot of the per-tenant
+  /// counters.
+  std::map<std::uint32_t, TenantCounters> tenants() const {
+    util::MutexLock lock(mu_);
+    return tenants_;
+  }
 
  private:
-  bool feasible(const Request& r, double now_ms) const;
-  bool over_fair_share(const Request& r) const;
+  bool feasible(const Request& r, double now_ms) const NETCUT_REQUIRES(mu_);
+  bool over_fair_share(const Request& r) const NETCUT_REQUIRES(mu_);
 
-  FleetConfig config_;
-  ShardedQueue queue_;
-  std::vector<std::string> names_;
-  std::vector<std::unique_ptr<BatchServer>> servers_;
-  std::vector<double> busy_until_ms_;
-  std::vector<std::size_t> max_batch_;
-  std::map<std::uint32_t, TenantCounters> tenants_;
-  std::map<std::uint32_t, std::int64_t> inflight_;  // admitted - completed
-  std::int64_t inflight_total_ = 0;
-  mutable FleetStats stats_;
+  FleetConfig config_;           // immutable after construction
+  ShardedQueue queue_;           // internally synchronized
+  std::vector<std::string> names_;  // immutable after construction
+  std::vector<std::unique_ptr<BatchServer>> servers_;  // elements internally synchronized
+  std::vector<std::size_t> max_batch_;  // immutable after construction
+  /// Guards admission + accounting. Rank kFleet: the outermost lock — the
+  /// feasibility bound reads shard sizes (rank kQueue) underneath it; it
+  /// is never held across a replica's step.
+  mutable util::RankedMutex mu_{util::rank::kFleet, "serve/fleet"};
+  std::vector<double> busy_until_ms_ NETCUT_GUARDED_BY(mu_);
+  /// Per-worker claim flags: true while some stepper runs worker w's
+  /// replica outside the lock, so concurrent steppers skip it instead of
+  /// double-serving one replica (the jitter/fault streams are sequential).
+  std::vector<char> serving_ NETCUT_GUARDED_BY(mu_);
+  std::map<std::uint32_t, TenantCounters> tenants_ NETCUT_GUARDED_BY(mu_);
+  // admitted - completed, per tenant
+  std::map<std::uint32_t, std::int64_t> inflight_ NETCUT_GUARDED_BY(mu_);
+  std::int64_t inflight_total_ NETCUT_GUARDED_BY(mu_) = 0;
+  FleetStats stats_ NETCUT_GUARDED_BY(mu_);
 };
 
 }  // namespace netcut::serve

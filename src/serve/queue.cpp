@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/schedule.hpp"
+
 namespace netcut::serve {
 
 namespace {
@@ -19,25 +21,29 @@ bool later(const Request& a, const Request& b) {
 
 void RequestQueue::push(Request r) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) throw std::logic_error("RequestQueue: push after close");
     heap_.push_back(r);
     std::push_heap(heap_.begin(), heap_.end(), later);
   }
+  // Deliberate unlock-before-notify window: the model checker explores
+  // schedules where a waiter (or a close) lands right here.
+  util::sched::yield("queue.push.pre-notify");
   cv_.notify_one();
 }
 
 void RequestQueue::reinsert(Request r) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     heap_.push_back(r);
     std::push_heap(heap_.begin(), heap_.end(), later);
   }
+  util::sched::yield("queue.reinsert.pre-notify");
   cv_.notify_one();
 }
 
 std::size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return heap_.size();
 }
 
@@ -56,7 +62,7 @@ std::vector<Request> RequestQueue::pop_locked(std::size_t n) {
 
 std::vector<Request> RequestQueue::take(
     const std::function<std::size_t(const Request& head, std::size_t pending)>& choose) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (heap_.empty()) return {};
   const std::size_t n = choose(heap_.front(), heap_.size());
   if (n > heap_.size()) throw std::logic_error("RequestQueue: choose picked too many");
@@ -64,26 +70,27 @@ std::vector<Request> RequestQueue::take(
 }
 
 std::vector<Request> RequestQueue::steal(std::size_t max_n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return pop_locked(std::min(max_n, heap_.size()));
 }
 
 bool RequestQueue::wait_nonempty() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !heap_.empty() || closed_; });
+  util::MutexLock lock(mu_);
+  cv_.wait(mu_, [&]() NETCUT_REQUIRES(mu_) { return !heap_.empty() || closed_; });
   return !heap_.empty();
 }
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
   }
+  util::sched::yield("queue.close.pre-notify");
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return closed_;
 }
 

@@ -18,13 +18,13 @@
 // deterministic under the simulated clock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "util/ranked_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace netcut::serve {
 
@@ -70,12 +70,12 @@ class RequestQueue {
   bool closed() const;
 
  private:
-  std::vector<Request> pop_locked(std::size_t n);
+  std::vector<Request> pop_locked(std::size_t n) NETCUT_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Request> heap_;  // min-heap over (deadline, id)
-  bool closed_ = false;
+  mutable util::RankedMutex mu_{util::rank::kQueue, "serve/queue"};
+  util::CondVar cv_;
+  std::vector<Request> heap_ NETCUT_GUARDED_BY(mu_);  // min-heap over (deadline, id)
+  bool closed_ NETCUT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace netcut::serve

@@ -50,6 +50,11 @@ std::vector<Completion> BatchServer::step(double now_ms) {
     outputs = options_[cur].net->forward_batch(inputs);
   }
 
+  // Accounting happens under mu_ — only after the forward above, so no
+  // lock is ever held across compute (the pool's completion wait must not
+  // run under a serve lock).
+  util::MutexLock lock(mu_);
+
   // Simulated time: the device model's batched latency, with run-to-run
   // jitter and whatever the fault schedule does to this launch. A failed
   // run still burns the time but yields no usable results.

@@ -32,7 +32,9 @@
 #include "nn/network.hpp"
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
+#include "util/ranked_mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace netcut::serve {
 
@@ -109,9 +111,18 @@ class BatchServer {
   /// Serve one batch from the queue at time `now_ms`. Returns the batch's
   /// completions in EDF order (empty when the queue is empty); every
   /// completion in the batch shares one finish time.
+  ///
+  /// Concurrency: one stepper at a time per server (each fleet worker owns
+  /// its replica) — the jitter/fault streams are sequential draws. The
+  /// reporting getters below are safe from any thread *concurrent with*
+  /// the stepper: accounting state is guarded by mu_, taken only after the
+  /// batch forward (no lock is held across compute, so a reporter never
+  /// blocks behind a batch and the pool's completion wait never runs under
+  /// a serve lock).
   std::vector<Completion> step(double now_ms);
 
-  /// Pareto-front index currently in service (0 = preferred).
+  /// Pareto-front index currently in service (0 = preferred). Safe from
+  /// any thread (the watchdog guards its own window state).
   std::size_t current_option() const { return watchdog_.current(); }
 
   /// Nominal latency of the fastest (last) Pareto option for a batch of n —
@@ -126,20 +137,30 @@ class BatchServer {
   /// observations) — the live health signal fleet reports surface.
   double window_miss_rate() const { return watchdog_.window_miss_rate(); }
 
-  const ServeStats& stats() const { return stats_; }
+  /// Snapshot of the accounting counters (by value: a reference into
+  /// mutex-guarded state would dangle past the lock).
+  ServeStats stats() const {
+    util::MutexLock lock(mu_);
+    return stats_;
+  }
   const ServeConfig& config() const { return config_; }
 
  private:
-  std::vector<ServeOption> options_;
+  std::vector<ServeOption> options_;  // immutable after construction
   RequestQueue& queue_;
-  ServeConfig config_;
-  BatchFormer former_;
-  app::MissRateWatchdog watchdog_;
-  util::Rng rng_;
-  hw::FaultStream fault_stream_;
-  double slowdown_ = 1.0;  // EWMA of observed / nominal service time
-  std::int64_t batch_counter_ = 0;
-  ServeStats stats_;
+  ServeConfig config_;                // immutable after construction
+  BatchFormer former_;                // stateless policy (const choose)
+  app::MissRateWatchdog watchdog_;    // internally synchronized
+  /// Guards the accounting state below. Rank kServer: taken before the
+  /// watchdog's own mutex (observe under accounting) and never while the
+  /// queue lock is held.
+  mutable util::RankedMutex mu_{util::rank::kServer, "serve/server"};
+  util::Rng rng_ NETCUT_GUARDED_BY(mu_);
+  hw::FaultStream fault_stream_ NETCUT_GUARDED_BY(mu_);
+  // EWMA of observed / nominal service time.
+  double slowdown_ NETCUT_GUARDED_BY(mu_) = 1.0;
+  std::int64_t batch_counter_ NETCUT_GUARDED_BY(mu_) = 0;
+  ServeStats stats_ NETCUT_GUARDED_BY(mu_);
 };
 
 }  // namespace netcut::serve

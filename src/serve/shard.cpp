@@ -3,16 +3,19 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/schedule.hpp"
+
 namespace netcut::serve {
 
-ShardedQueue::ShardedQueue(std::size_t shards, std::uint64_t seed) {
+ShardedQueue::ShardedQueue(std::size_t shards, std::uint64_t seed)
+    : steals_(new std::atomic<std::int64_t>[shards == 0 ? 1 : shards]) {
   if (shards == 0) throw std::invalid_argument("ShardedQueue: need at least one shard");
   shards_.reserve(shards);
   steal_rng_.reserve(shards);
-  steals_.assign(shards, 0);
   for (std::size_t w = 0; w < shards; ++w) {
     shards_.push_back(std::make_unique<RequestQueue>());
     steal_rng_.emplace_back(util::derive_seed(seed, "serve/steal/" + std::to_string(w)));
+    steals_[w].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -45,8 +48,12 @@ std::size_t ShardedQueue::balance(std::size_t w, std::size_t max_steal) {
     if (v >= w) ++v;  // skip self: maps [0, shards-2] onto the others
     std::vector<Request> got = shards_[v]->steal(max_steal);
     if (got.empty()) continue;
+    // The delicate window: the stolen requests are in *neither* shard
+    // right here. The model checker interleaves drains/closes/pushes into
+    // this gap to prove no request is lost or duplicated by migration.
+    util::sched::yield("shard.balance.holding-stolen");
     for (const Request& r : got) shards_[w]->reinsert(r);
-    ++steals_[w];
+    steals_[w].fetch_add(1, std::memory_order_relaxed);
     return got.size();
   }
   return 0;

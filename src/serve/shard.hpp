@@ -15,6 +15,7 @@
 // tenants is the fleet's admission-control job, not the router's.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -53,15 +54,23 @@ class ShardedQueue {
   /// steals only for itself), which keeps its RNG stream private.
   std::size_t balance(std::size_t w, std::size_t max_steal);
 
-  /// Steals performed for worker `w` so far (single-caller, like balance).
-  std::int64_t steals(std::size_t w) const { return steals_[w]; }
+  /// Steals performed for worker `w` so far. Safe from any thread (a
+  /// stats/reporting read, e.g. Fleet::stats, may race worker `w`'s own
+  /// balance calls): the counters are atomics precisely so the reporting
+  /// path needs no lock — a plain int64 here was a data race between the
+  /// balancing worker and the reporter.
+  std::int64_t steals(std::size_t w) const {
+    return steals_[w].load(std::memory_order_relaxed);
+  }
 
   void close_all();
 
  private:
   std::vector<std::unique_ptr<RequestQueue>> shards_;
-  std::vector<util::Rng> steal_rng_;     // one stream per worker
-  std::vector<std::int64_t> steals_;     // successful steal count per worker
+  std::vector<util::Rng> steal_rng_;  // one stream per worker (single-caller)
+  /// Successful steal count per worker: written only by worker w's balance
+  /// (single-caller contract), read by any reporter, hence atomic.
+  std::unique_ptr<std::atomic<std::int64_t>[]> steals_;
 };
 
 }  // namespace netcut::serve

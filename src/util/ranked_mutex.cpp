@@ -1,0 +1,178 @@
+#include "util/ranked_mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cstddef>
+
+namespace netcut::util {
+
+namespace {
+
+// Per-thread stack of held ranked mutexes (cheap enough to keep always;
+// the scheduler teardown path may unwind lock scopes in odd orders, so
+// release erases by value, not pop). A plain array + count rather than
+// std::vector: the holder must be TRIVIALLY DESTRUCTIBLE, because the
+// thread-pool singleton's atexit destructor locks its RankedMutex after
+// __call_tls_dtors has already destroyed every nontrivial thread_local on
+// the main thread — a vector here is a use-after-free at process exit
+// (caught by the TSan wall). 32 slots is far above the deepest legal
+// nesting (8 ranks, strictly increasing).
+constexpr std::size_t kMaxHeld = 32;
+thread_local const RankedMutex* tl_held[kMaxHeld];
+thread_local std::size_t tl_held_n = 0;
+
+// -1 = not yet latched, else 0/1. Relaxed is enough: the flag is written
+// before any checked thread starts in practice, and a torn first read only
+// delays the latch by one call.
+std::atomic<int> g_lockcheck{-1};
+
+[[noreturn]] void die_with_stack(const char* what, const RankedMutex& acquiring,
+                                 const RankedMutex* offender) {
+  std::fprintf(stderr, "netcut lockcheck: %s: acquiring '%s' (rank %d)", what,
+               acquiring.name(), acquiring.rank());
+  if (offender != nullptr)
+    std::fprintf(stderr, " while holding '%s' (rank %d)", offender->name(),
+                 offender->rank());
+  std::fprintf(stderr, "\n  held stack (acquisition order):");
+  for (std::size_t i = 0; i < tl_held_n; ++i)
+    std::fprintf(stderr, " '%s'(rank %d)", tl_held[i]->name(), tl_held[i]->rank());
+  std::fprintf(stderr, "\n  rank rule: every acquisition must strictly increase "
+                       "the held rank (see DESIGN.md section 13)\n");
+  std::abort();
+}
+
+[[noreturn]] void die_held_while_blocking(const RankedMutex& waited) {
+  std::fprintf(stderr,
+               "netcut lockcheck: held-while-blocking: CondVar wait on '%s' "
+               "(rank %d) while also holding:",
+               waited.name(), waited.rank());
+  for (std::size_t i = 0; i < tl_held_n; ++i)
+    if (tl_held[i] != &waited)
+      std::fprintf(stderr, " '%s'(rank %d)", tl_held[i]->name(), tl_held[i]->rank());
+  std::fprintf(stderr, "\n  a thread parked on a condvar must hold only the "
+                       "condvar's own mutex (see DESIGN.md section 13)\n");
+  std::abort();
+}
+
+}  // namespace
+
+bool RankedMutex::check_enabled() {
+  int v = g_lockcheck.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("NETCUT_LOCKCHECK");
+    v = (env != nullptr && std::strcmp(env, "1") == 0) ? 1 : 0;
+    g_lockcheck.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void RankedMutex::set_check_enabled(bool on) {
+  g_lockcheck.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void RankedMutex::check_order() const {
+  if (!check_enabled()) return;
+  for (std::size_t i = 0; i < tl_held_n; ++i)
+    if (tl_held[i]->rank_ >= rank_)
+      die_with_stack(tl_held[i] == this ? "recursive acquisition" : "lock-order inversion",
+                     *this, tl_held[i]);
+}
+
+void RankedMutex::note_acquired() {
+  if (tl_held_n >= kMaxHeld) {
+    std::fprintf(stderr, "netcut lockcheck: held-stack overflow acquiring '%s'\n",
+                 name_);
+    std::abort();
+  }
+  tl_held[tl_held_n++] = this;
+}
+
+void RankedMutex::note_released() {
+  for (std::size_t i = tl_held_n; i-- > 0;) {
+    if (tl_held[i] == this) {
+      for (std::size_t j = i + 1; j < tl_held_n; ++j) tl_held[j - 1] = tl_held[j];
+      --tl_held_n;
+      return;
+    }
+  }
+}
+
+void RankedMutex::lock() {
+  check_order();  // abort on inversion *before* blocking, not deadlock after
+  if (sched::Scheduler* s = sched::Scheduler::current()) {
+    while (!mu_.try_lock()) s->on_lock_blocked(this, name_);
+    note_acquired();
+    s->on_lock_acquired(this, name_);
+    return;
+  }
+  mu_.lock();
+  note_acquired();
+}
+
+bool RankedMutex::try_lock() {
+  // Non-blocking: order violations cannot deadlock, so try_lock only
+  // records the hold (matching common lockcheck practice).
+  if (!mu_.try_lock()) return false;
+  note_acquired();
+  if (sched::Scheduler* s = sched::Scheduler::current())
+    s->on_lock_acquired(this, name_);
+  return true;
+}
+
+void RankedMutex::unlock() {
+  note_released();
+  mu_.unlock();
+  if (sched::Scheduler* s = sched::Scheduler::current()) s->on_unlock(this, name_);
+}
+
+void RankedMutex::unlock_for_wait() {
+  note_released();
+  mu_.unlock();
+  if (sched::Scheduler* s = sched::Scheduler::current()) s->mark_unlocked(this);
+}
+
+void CondVar::wait(RankedMutex& m) NETCUT_NO_THREAD_SAFETY_ANALYSIS {
+  if (RankedMutex::check_enabled() && !allow_held_waits_) {
+    for (std::size_t i = 0; i < tl_held_n; ++i)
+      if (tl_held[i] != &m) die_held_while_blocking(m);
+  }
+  if (sched::Scheduler* s = sched::Scheduler::current()) {
+    // unlock_for_wait + cv_wait form one atomic step under the schedule:
+    // no other thread runs between the release and the waiter
+    // registration, so a notify cannot fall into the gap.
+    m.unlock_for_wait();
+    try {
+      s->cv_wait(this, "cv.wait");
+    } catch (...) {
+      // Teardown unwind (SchedAbort): the enclosing guard will unlock on
+      // the way out, so the mutex must be re-held — raw relock, no
+      // scheduling point (the schedule is over).
+      m.mu_.lock();
+      m.note_acquired();
+      throw;
+    }
+    m.lock();
+    return;
+  }
+  cv_.wait(m);
+}
+
+void CondVar::notify_one() {
+  if (sched::Scheduler* s = sched::Scheduler::current()) {
+    s->cv_notify(this, /*all=*/false, "cv.notify_one");
+    return;
+  }
+  cv_.notify_one();
+}
+
+void CondVar::notify_all() {
+  if (sched::Scheduler* s = sched::Scheduler::current()) {
+    s->cv_notify(this, /*all=*/true, "cv.notify_all");
+    return;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace netcut::util

@@ -1,0 +1,255 @@
+#include "util/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace netcut::util::sched {
+
+namespace detail {
+thread_local Scheduler* tl_scheduler = nullptr;
+thread_local std::size_t tl_thread_index = 0;
+}  // namespace detail
+
+ScheduleError::ScheduleError(std::string reason, std::vector<std::size_t> picks,
+                             std::vector<std::string> trace, bool deadlock)
+    : std::runtime_error([&] {
+        std::ostringstream os;
+        os << reason << "\n  replay picks: " << format_picks(picks)
+           << "\n  schedule trace (" << trace.size() << " grants):";
+        for (std::size_t i = 0; i < trace.size(); ++i)
+          os << "\n    #" << i << " " << trace[i];
+        return os.str();
+      }()),
+      reason_(std::move(reason)),
+      picks_(std::move(picks)),
+      trace_(std::move(trace)),
+      deadlock_(deadlock) {}
+
+std::string format_picks(const std::vector<std::size_t>& picks) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    if (i != 0) os << ',';
+    os << picks[i];
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> parse_picks(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ','))
+    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoull(tok)));
+  return out;
+}
+
+Scheduler::Scheduler(std::size_t n) : thr_(n) {}
+
+RunResult Scheduler::run(std::vector<std::function<void()>> bodies,
+                         ScheduleSource& source, const Options& opts) {
+  if (bodies.empty()) return {};
+  Scheduler s(bodies.size());
+  return s.run_impl(bodies, source, opts);
+}
+
+void Scheduler::thread_main(std::size_t idx, const std::function<void()>& body) {
+  detail::tl_scheduler = this;
+  detail::tl_thread_index = idx;
+  // Park at "start" so thread *spawn* order (an OS artifact) never leaks
+  // into the schedule: the source decides who begins.
+  try {
+    park(St::kRunnable, nullptr, "start", /*throw_on_abort=*/true);
+    body();
+  } catch (const SchedAbort&) {
+    // Expected teardown unwind; not an error of the body.
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m_);
+    thr_[idx].error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    thr_[idx].st = St::kDone;
+    if (active_ == static_cast<std::ptrdiff_t>(idx)) active_ = -1;
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::park(St st, const void* res, const char* tag, bool throw_on_abort) {
+  const std::size_t idx = detail::tl_thread_index;
+  std::unique_lock<std::mutex> lk(m_);
+  if (abort_) {
+    if (throw_on_abort) throw SchedAbort{};
+    return;
+  }
+  Thr& t = thr_[idx];
+  t.st = st;
+  t.parked = true;
+  t.res = res;
+  t.tag = tag;
+  if (st == St::kWaiting) t.wait_seq = ++wait_counter_;
+  // Only the granted runner hands control back; the initial park (never
+  // granted) must not clobber another thread's grant.
+  if (active_ == static_cast<std::ptrdiff_t>(idx)) active_ = -1;
+  cv_.notify_all();
+  cv_.wait(lk, [&] {
+    return abort_ || active_ == static_cast<std::ptrdiff_t>(idx);
+  });
+  t.parked = false;
+  if (abort_ && active_ != static_cast<std::ptrdiff_t>(idx)) {
+    if (throw_on_abort) throw SchedAbort{};
+    return;
+  }
+}
+
+void Scheduler::on_yield(const char* tag) {
+  park(St::kRunnable, nullptr, tag, /*throw_on_abort=*/true);
+}
+
+void Scheduler::on_lock_blocked(const void* mutex, const char* tag) {
+  park(St::kBlocked, mutex, tag, /*throw_on_abort=*/true);
+}
+
+void Scheduler::on_lock_acquired(const void* mutex, const char* tag) {
+  // Scheduling point after acquisition: lets the checker explore "holder
+  // preempted inside the critical section" orders. Safe points must not
+  // throw on teardown — the caller already holds the lock and a throw here
+  // would unwind past a half-constructed guard.
+  park(St::kRunnable, mutex, tag, /*throw_on_abort=*/false);
+}
+
+void Scheduler::mark_unlocked(const void* mutex) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (Thr& t : thr_)
+    if (t.st == St::kBlocked && t.res == mutex) t.st = St::kRunnable;
+}
+
+void Scheduler::on_unlock(const void* mutex, const char* tag) {
+  mark_unlocked(mutex);
+  park(St::kRunnable, nullptr, tag, /*throw_on_abort=*/false);
+}
+
+void Scheduler::cv_wait(const void* cv, const char* tag) {
+  park(St::kWaiting, cv, tag, /*throw_on_abort=*/true);
+}
+
+void Scheduler::cv_notify(const void* cv, bool all, const char* tag) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (all) {
+      for (Thr& t : thr_)
+        if (t.st == St::kWaiting && t.res == cv) t.st = St::kRunnable;
+    } else {
+      // FIFO: wake the longest-waiting thread — deterministic, and the
+      // order a fair OS condvar approximates.
+      Thr* oldest = nullptr;
+      for (Thr& t : thr_)
+        if (t.st == St::kWaiting && t.res == cv &&
+            (oldest == nullptr || t.wait_seq < oldest->wait_seq))
+          oldest = &t;
+      if (oldest != nullptr) oldest->st = St::kRunnable;
+    }
+  }
+  park(St::kRunnable, nullptr, tag, /*throw_on_abort=*/false);
+}
+
+std::string Scheduler::describe_live(const char* reason) {
+  std::ostringstream os;
+  os << reason << ":";
+  for (std::size_t i = 0; i < thr_.size(); ++i) {
+    const Thr& t = thr_[i];
+    if (t.st == St::kDone) continue;
+    os << " t" << i << "="
+       << (t.st == St::kBlocked ? "blocked" : t.st == St::kWaiting ? "waiting" : "runnable")
+       << "@" << t.tag;
+  }
+  return os.str();
+}
+
+RunResult Scheduler::run_impl(std::vector<std::function<void()>>& bodies,
+                              ScheduleSource& source, const Options& opts) {
+  std::vector<std::thread> threads;
+  threads.reserve(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i)
+    threads.emplace_back([this, i, &bodies] { thread_main(i, bodies[i]); });
+
+  std::string failure;
+  bool deadlock = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    std::vector<std::size_t> runnable;
+    for (;;) {
+      // Pick only when the previous runner has fully handed control back
+      // AND every live thread sits inside park() — otherwise a freshly
+      // spawned thread that has not reached its initial park could be
+      // granted into thin air.
+      cv_.wait(lk, [&] {
+        if (active_ != -1) return false;
+        for (const Thr& t : thr_)
+          if (t.st != St::kDone && !t.parked) return false;
+        return true;
+      });
+      std::exception_ptr body_error;
+      bool all_done = true;
+      runnable.clear();
+      for (std::size_t i = 0; i < thr_.size(); ++i) {
+        if (thr_[i].error && !body_error) body_error = thr_[i].error;
+        if (thr_[i].st != St::kDone) all_done = false;
+        if (thr_[i].st == St::kRunnable) runnable.push_back(i);
+      }
+      if (body_error) {
+        try {
+          std::rethrow_exception(body_error);
+        } catch (const std::exception& e) {
+          failure = std::string("thread body failed: ") + e.what();
+        } catch (...) {
+          failure = "thread body failed: non-standard exception";
+        }
+        break;
+      }
+      if (all_done) break;
+      if (runnable.empty()) {
+        failure = describe_live("deadlock: no runnable thread");
+        deadlock = true;
+        break;
+      }
+      if (picks_.size() >= opts.max_steps) {
+        failure = describe_live("livelock: scheduling step bound exceeded");
+        break;
+      }
+      const std::size_t pick = source.pick(runnable.size()) % runnable.size();
+      const std::size_t chosen = runnable[pick];
+      picks_.push_back(pick);
+      branching_.push_back(runnable.size());
+      // Built by append (not operator+ chaining): gcc 12's -Wrestrict
+      // false-positives on chained string concatenation under -O2.
+      std::string line = "t";
+      line += std::to_string(chosen);
+      line += ' ';
+      line += thr_[chosen].tag;
+      trace_.push_back(std::move(line));
+      active_ = static_cast<std::ptrdiff_t>(chosen);
+      cv_.notify_all();
+    }
+    // Teardown: release every parked thread. Parked-forever states (cv
+    // waits, initial parks) unwind via SchedAbort; safe points just keep
+    // running uncontrolled — the real mutexes below them stay correct.
+    abort_ = true;
+    active_ = -1;
+    cv_.notify_all();
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads) t.join();
+  detail::tl_scheduler = nullptr;  // the run thread never had it set; defensive
+
+  if (!failure.empty())
+    throw ScheduleError(failure, std::move(picks_), std::move(trace_), deadlock);
+  RunResult r;
+  r.picks = std::move(picks_);
+  r.branching = std::move(branching_);
+  r.trace = std::move(trace_);
+  return r;
+}
+
+}  // namespace netcut::util::sched

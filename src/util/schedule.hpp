@@ -1,0 +1,216 @@
+// Deterministic schedule-exploring model checker for concurrent protocols.
+//
+// A Scheduler serializes N test threads: exactly one runs at a time, and
+// every synchronization operation — RankedMutex lock/unlock, CondVar
+// wait/notify, and explicit sched::yield() calls compiled into the serve
+// primitives — is a *scheduling point* where the running thread parks and
+// a ScheduleSource picks who runs next. Because the threads under test
+// only interleave at scheduling points and every pick is recorded, a run
+// is a pure function of (program, pick list): any failing interleaving is
+// replayable bit-for-bit from its pick list, and seeded random sources
+// make whole exploration campaigns reproducible from one seed.
+//
+// This is the CHESS/loom technique in miniature: instead of hoping TSan's
+// one OS interleaving per run happens to hit the steal/close/drain race,
+// the checker *constructs* interleavings — exhaustive over all choice
+// prefixes up to a small depth, then seeded-random beyond — and detects
+// deadlocks (no runnable thread while some are blocked or waiting)
+// structurally, with the full trace in the report.
+//
+// Production cost: zero when no scheduler is installed on the thread —
+// every hook is a thread_local pointer test. The serve subsystem is the
+// instrumented surface (its mutexes are util::RankedMutex and its condvars
+// util::CondVar; see ranked_mutex.hpp); tests/sched_check.hpp layers the
+// exploration driver (seeded campaigns + exhaustive prefixes + replay) on
+// top of Scheduler::run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace netcut::util::sched {
+
+class Scheduler;
+
+namespace detail {
+/// Non-null only on a thread managed by a live Scheduler::run.
+extern thread_local Scheduler* tl_scheduler;
+/// Index of the calling thread within its scheduler's thread set.
+extern thread_local std::size_t tl_thread_index;
+}  // namespace detail
+
+/// Chooses, at each scheduling point, which runnable thread runs next.
+class ScheduleSource {
+ public:
+  virtual ~ScheduleSource() = default;
+  /// Return an index in [0, runnable). `runnable` is always >= 1.
+  virtual std::size_t pick(std::size_t runnable) = 0;
+};
+
+/// Seeded random schedule: uniformly random runnable thread at each point.
+/// The whole schedule is a pure function of the seed.
+class RandomSchedule final : public ScheduleSource {
+ public:
+  explicit RandomSchedule(std::uint64_t seed) : rng_(seed) {}
+  std::size_t pick(std::size_t runnable) override {
+    return static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(runnable) - 1));
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Fixed pick list (replay, or an exhaustive-enumeration prefix); beyond
+/// the list it falls back to round-robin, which is what makes bounded
+/// exhaustive prefixes terminate: the tail is deterministic.
+class PickListSchedule final : public ScheduleSource {
+ public:
+  explicit PickListSchedule(std::vector<std::size_t> picks)
+      : picks_(std::move(picks)) {}
+  std::size_t pick(std::size_t runnable) override {
+    const std::size_t at = at_++;
+    if (at < picks_.size()) return picks_[at] % runnable;
+    return (at - picks_.size()) % runnable;
+  }
+
+ private:
+  std::vector<std::size_t> picks_;
+  std::size_t at_ = 0;
+};
+
+/// Successful run: the schedule actually taken, for enumeration + replay.
+struct RunResult {
+  std::vector<std::size_t> picks;      // normalized pick at each point
+  std::vector<std::size_t> branching;  // runnable count at each point
+  std::vector<std::string> trace;      // "t<i> <tag>" per grant
+};
+
+/// A failing schedule: deadlock, livelock (step bound), or an exception
+/// thrown by a thread body (how invariant checks report). Carries the full
+/// trace and the pick list needed to replay the exact interleaving.
+class ScheduleError : public std::runtime_error {
+ public:
+  ScheduleError(std::string reason, std::vector<std::size_t> picks,
+                std::vector<std::string> trace, bool deadlock);
+
+  const std::vector<std::size_t>& picks() const { return picks_; }
+  const std::vector<std::string>& trace() const { return trace_; }
+  bool deadlock() const { return deadlock_; }
+  /// First line of what(): the reason without the trace dump.
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+  std::vector<std::size_t> picks_;
+  std::vector<std::string> trace_;
+  bool deadlock_;
+};
+
+/// Render "0,1,1,2,0" — the replay string printed in failure reports.
+std::string format_picks(const std::vector<std::size_t>& picks);
+/// Parse the replay string back into a pick list.
+std::vector<std::size_t> parse_picks(const std::string& s);
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Scheduling decisions before the run is declared a livelock.
+    std::size_t max_steps = 200000;
+  };
+
+  /// Run every body to completion under the controlled schedule, on fresh
+  /// threads, serialized through the scheduling points. Throws
+  /// ScheduleError on deadlock, livelock, or a body exception; the caller
+  /// never observes a half-torn-down scheduler (all threads are joined on
+  /// every path).
+  static RunResult run(std::vector<std::function<void()>> bodies,
+                       ScheduleSource& source, const Options& opts);
+  static RunResult run(std::vector<std::function<void()>> bodies, ScheduleSource& source) {
+    return run(std::move(bodies), source, Options());
+  }
+
+  /// Scheduler managing the calling thread, or nullptr (production).
+  static Scheduler* current() { return detail::tl_scheduler; }
+
+  // Hooks for instrumented primitives (RankedMutex / CondVar / yield).
+  // All are scheduling points. `res` identifies the resource (mutex or
+  // condvar address); `tag` names the site in traces.
+  void on_yield(const char* tag);
+  /// Park until the mutex may be retried (its holder released it).
+  void on_lock_blocked(const void* mutex, const char* tag);
+  /// Scheduling point just after a successful acquisition.
+  void on_lock_acquired(const void* mutex, const char* tag);
+  /// Mark threads blocked on `mutex` runnable; scheduling point.
+  void on_unlock(const void* mutex, const char* tag);
+  /// Like on_unlock but NOT a scheduling point. CondVar::wait uses it to
+  /// release the mutex and register as a waiter atomically with respect to
+  /// the schedule: nothing else runs between the release and the park in
+  /// cv_wait, so a notify can never fall into the gap (which would make
+  /// *correct* wait protocols look like lost wakeups).
+  void mark_unlocked(const void* mutex);
+  /// Release is the caller's job *before* calling (via mark_unlocked);
+  /// parks the thread until a notify wakes it (FIFO). Throws SchedAbort on
+  /// teardown.
+  void cv_wait(const void* cv, const char* tag);
+  /// Wake one (FIFO) or all waiters on `cv`; scheduling point.
+  void cv_notify(const void* cv, bool all, const char* tag);
+
+  /// Teardown signal thrown out of parked threads when the run aborts
+  /// (deadlock elsewhere, body exception). Internal to the harness: the
+  /// thread wrapper catches it. Unwinds through the code under test, so
+  /// instrumented code must stay exception-safe (RAII guards) — which the
+  /// serve subsystem is.
+  struct SchedAbort {};
+
+ private:
+  enum class St : std::uint8_t { kRunnable, kBlocked, kWaiting, kDone };
+  struct Thr {
+    St st = St::kRunnable;
+    bool parked = false;         // inside park()'s wait (handoff complete)
+    const void* res = nullptr;   // mutex blocked on / condvar waiting on
+    std::uint64_t wait_seq = 0;  // FIFO order among cv waiters
+    const char* tag = "start";
+    std::exception_ptr error;
+  };
+
+  explicit Scheduler(std::size_t n);
+  RunResult run_impl(std::vector<std::function<void()>>& bodies,
+                     ScheduleSource& source, const Options& opts);
+  void thread_main(std::size_t idx, const std::function<void()>& body);
+  /// Hand control back to the scheduler in state `st`; returns when
+  /// granted again. On teardown: returns when `throw_on_abort` is false
+  /// (safe points — the thread keeps running uncontrolled), throws
+  /// SchedAbort when true (points that would otherwise park forever).
+  void park(St st, const void* res, const char* tag, bool throw_on_abort);
+  std::string describe_live(const char* reason);
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::ptrdiff_t active_ = -1;  // index allowed to run; -1 = scheduler
+  bool abort_ = false;
+  std::vector<Thr> thr_;
+  std::uint64_t wait_counter_ = 0;
+  std::vector<std::size_t> picks_;
+  std::vector<std::size_t> branching_;
+  std::vector<std::string> trace_;
+};
+
+/// Interleaving point: a no-op in production (one thread_local load), a
+/// scheduling point under a model-check run. Sprinkled at the
+/// protocol-critical non-mutex lines of the serve subsystem (e.g. the
+/// window in ShardedQueue::balance where stolen requests are in neither
+/// shard).
+inline void yield(const char* tag) {
+  if (Scheduler* s = Scheduler::current()) s->on_yield(tag);
+}
+
+}  // namespace netcut::util::sched

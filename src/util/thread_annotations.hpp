@@ -1,0 +1,64 @@
+// Clang thread-safety analysis attribute macros (no-ops on GCC and on
+// clang builds without -Wthread-safety).
+//
+// These annotate which mutex guards which field and which capabilities a
+// function needs, so `clang++ -Wthread-safety -Werror=thread-safety`
+// (scripts/threadsafety.sh, wired into scripts/check.sh) proves lock
+// discipline *at compile time*: a read of a GUARDED_BY field outside its
+// mutex, a REQUIRES function called without the lock, or an unbalanced
+// ACQUIRE/RELEASE is a build error, not a TSan roll of the dice.
+//
+// The vocabulary is the standard Clang one (the same macro set used by
+// abseil and the LLVM docs), prefixed NETCUT_ to stay collision-free:
+//
+//   NETCUT_CAPABILITY("mutex")   on the lock type itself
+//   NETCUT_SCOPED_CAPABILITY     on RAII guards (util::MutexLock)
+//   NETCUT_GUARDED_BY(mu)        on data members
+//   NETCUT_PT_GUARDED_BY(mu)     on pointed-to data
+//   NETCUT_REQUIRES(mu)          caller must hold mu
+//   NETCUT_ACQUIRE(mu) / NETCUT_RELEASE(mu) / NETCUT_TRY_ACQUIRE(ok, mu)
+//   NETCUT_EXCLUDES(mu)          caller must NOT hold mu (self-deadlock)
+//   NETCUT_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (lock internals)
+//
+// See DESIGN.md section 13 for the mutex rank table and the conventions.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NETCUT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NETCUT_THREAD_ANNOTATION(x)  // no-op on GCC
+#endif
+
+#define NETCUT_CAPABILITY(x) NETCUT_THREAD_ANNOTATION(capability(x))
+
+#define NETCUT_SCOPED_CAPABILITY NETCUT_THREAD_ANNOTATION(scoped_lockable)
+
+#define NETCUT_GUARDED_BY(x) NETCUT_THREAD_ANNOTATION(guarded_by(x))
+
+#define NETCUT_PT_GUARDED_BY(x) NETCUT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define NETCUT_ACQUIRED_BEFORE(...) \
+  NETCUT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define NETCUT_ACQUIRED_AFTER(...) \
+  NETCUT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define NETCUT_REQUIRES(...) \
+  NETCUT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define NETCUT_ACQUIRE(...) \
+  NETCUT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define NETCUT_RELEASE(...) \
+  NETCUT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define NETCUT_TRY_ACQUIRE(...) \
+  NETCUT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define NETCUT_EXCLUDES(...) \
+  NETCUT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define NETCUT_RETURN_CAPABILITY(x) NETCUT_THREAD_ANNOTATION(lock_returned(x))
+
+#define NETCUT_NO_THREAD_SAFETY_ANALYSIS \
+  NETCUT_THREAD_ANNOTATION(no_thread_safety_analysis)

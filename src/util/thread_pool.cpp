@@ -36,15 +36,17 @@ void ThreadPool::start(int workers) {
 
 void ThreadPool::stop() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  shutdown_ = false;
   // Reset the job generation: workers of the next pool start with seen == 0
   // and must not mistake the previous generation's (dangling) job for new.
+  // (All workers are joined, but the fields are guarded — take the lock.)
+  MutexLock lk(mutex_);
+  shutdown_ = false;
   epoch_ = 0;
   job_ = Job{};
 }
@@ -64,7 +66,7 @@ void ThreadPool::run_chunks(const Job& job, int participant_index) {
     try {
       (*job.fn)(b, e);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
@@ -76,15 +78,16 @@ void ThreadPool::worker_loop(int participant_index) {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      MutexLock lk(mutex_);
+      cv_start_.wait(mutex_,
+                     [&]() NETCUT_REQUIRES(mutex_) { return shutdown_ || epoch_ != seen; });
       if (shutdown_) return;
       seen = epoch_;
       job = job_;
     }
     run_chunks(job, participant_index);
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       --active_;
     }
     cv_done_.notify_all();
@@ -119,7 +122,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 
   job.participants = participants;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     job_ = job;
     first_error_ = nullptr;
     active_ = participants - 1;
@@ -136,8 +139,8 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(mutex_);
-    cv_done_.wait(lk, [&] { return active_ == 0; });
+    MutexLock lk(mutex_);
+    cv_done_.wait(mutex_, [&]() NETCUT_REQUIRES(mutex_) { return active_ == 0; });
     err = first_error_;
     first_error_ = nullptr;
   }

@@ -18,13 +18,14 @@
 // must not race with in-flight parallel_for calls.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/ranked_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace netcut::util {
 
@@ -70,13 +71,20 @@ class ThreadPool {
   void stop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_start_, cv_done_;
-  std::uint64_t epoch_ = 0;
-  int active_ = 0;
-  bool shutdown_ = false;
-  Job job_;
-  std::exception_ptr first_error_;
+  /// Rank kPool: the innermost lock in the system — parallel_for is called
+  /// from under the evaluator's locks, never the other way around.
+  RankedMutex mutex_{rank::kPool, "util/thread_pool"};
+  CondVar cv_start_;
+  /// Callers legitimately wait for completion while holding their own
+  /// higher-level locks (e.g. the evaluator's states mutex across a
+  /// materialization), so the held-while-blocking check is waived for this
+  /// condvar only.
+  CondVar cv_done_{/*allow_held_waits=*/true};
+  std::uint64_t epoch_ NETCUT_GUARDED_BY(mutex_) = 0;
+  int active_ NETCUT_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ NETCUT_GUARDED_BY(mutex_) = false;
+  Job job_ NETCUT_GUARDED_BY(mutex_);
+  std::exception_ptr first_error_ NETCUT_GUARDED_BY(mutex_);
 };
 
 /// Thread count the pool would pick with no explicit override: the

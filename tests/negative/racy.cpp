@@ -1,0 +1,29 @@
+// Deliberately racy program for tests/negative/tsan_catches_race.sh.
+//
+// Two threads increment the same plain (non-atomic) counter with no
+// synchronization — the canonical data race. This file exists so the
+// harness can prove the ThreadSanitizer step in scripts/check.sh is
+// actually live: if TSan ever stops reporting THIS race (toolchain
+// regression, wrong flags, suppression file gone rogue), the negative
+// test fails loudly instead of the sanitizer wall going silently blind.
+//
+// Never linked into the main build; compiled standalone by the script.
+#include <cstdio>
+#include <thread>
+
+namespace {
+long counter = 0;  // shared, unsynchronized — the bug under test
+
+void hammer() {
+  for (int i = 0; i < 100000; ++i) ++counter;
+}
+}  // namespace
+
+int main() {
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  std::printf("counter=%ld\n", counter);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Negative test: the schedule explorer must catch a deliberately seeded
+# lost-wakeup bug (check-then-wait gap + naked condvar wait).
+#
+#   ./tests/negative/sched_catches_lost_wakeup.sh [path/to/test_sched]
+#
+# Runs the SchedNegative suite from tests/test_sched.cpp in isolation:
+#  * ExplorerCatchesSeededLostWakeup — the buggy consumer protocol MUST be
+#    driven into a deadlock by the campaign, with a replayable pick list
+#    that reproduces the identical failure;
+#  * CorrectWaitProtocolSurvivesSameCampaign — the fixed protocol survives
+#    the same schedules, proving the detection is the bug and not noise;
+#  * ExplorerCatchesHandlock — an AB/BA double-lock hand-off must deadlock.
+#
+# If the explorer ever stops finding these seeded bugs (scheduler
+# regression, yield points removed, campaign gutted), this script fails —
+# guarding the guard, per DESIGN.md section 13.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+BIN="${1:-build/tests/test_sched}"
+if [[ ! -x "$BIN" ]]; then
+  echo "sched-negative: $BIN not built (cmake --build build --target test_sched)" >&2
+  exit 1
+fi
+
+"$BIN" --gtest_filter='SchedNegative.*' --gtest_brief=1
+echo "sched-negative: OK — explorer caught the seeded lost wakeup and handlock"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Negative test: ThreadSanitizer must catch a deliberately seeded data race.
+#
+#   ./tests/negative/tsan_catches_race.sh [CXX]
+#
+# Compiles tests/negative/racy.cpp (two threads bumping a plain long) with
+# -fsanitize=thread and asserts the run REPORTS a race and exits nonzero.
+# If the racy program runs "clean", the sanitizer wall is blind and this
+# script fails — guarding the guard, per DESIGN.md section 13.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+CXX="${1:-${CXX:-g++}}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$CXX" -std=c++20 -O1 -g -fsanitize=thread -pthread \
+  tests/negative/racy.cpp -o "$workdir/racy"
+
+# TSan reports go to stderr; the default exitcode on detection is 66.
+status=0
+TSAN_OPTIONS="exitcode=66" "$workdir/racy" >"$workdir/out" 2>&1 || status=$?
+
+if [[ "$status" -eq 0 ]]; then
+  echo "tsan-negative: FAIL — racy program exited 0, no race reported" >&2
+  cat "$workdir/out" >&2
+  exit 1
+fi
+if ! grep -q "WARNING: ThreadSanitizer: data race" "$workdir/out"; then
+  echo "tsan-negative: FAIL — nonzero exit but no data-race report" >&2
+  cat "$workdir/out" >&2
+  exit 1
+fi
+echo "tsan-negative: OK — TSan reported the seeded race (exit $status)"

@@ -1,0 +1,140 @@
+// Exploration driver for the deterministic model checker
+// (src/util/schedule.hpp). Layers three campaign shapes over
+// Scheduler::run:
+//
+//  * bounded-exhaustive: enumerate EVERY schedule-tree prefix up to a small
+//    depth (odometer over the branching factors recorded by each run, with
+//    a deterministic round-robin tail) — the loom/CHESS trick that finds
+//    shallow protocol races regardless of probability;
+//  * seeded-random: N random schedules, each a pure function of
+//    derive_seed(campaign seed, schedule index) — a whole campaign is
+//    bit-reproducible from one integer;
+//  * replay: re-run one recorded pick list verbatim, for regression-pinning
+//    a schedule that once failed.
+//
+// Protocols are built fresh per schedule by a factory so no state leaks
+// between interleavings; the factory also returns the invariant check to
+// run at quiescence. Any failure — deadlock, livelock, a body exception,
+// or a failed check — surfaces as a ScheduleError whose what() carries the
+// replay pick list and the full grant trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/schedule.hpp"
+
+namespace netcut::testing {
+
+/// One fresh instance of the protocol under test. The closures share
+/// ownership of the protocol's state (capture a shared_ptr).
+struct Protocol {
+  std::vector<std::function<void()>> bodies;
+  /// Invariant check run after the schedule completes (threads joined);
+  /// throw (e.g. via GTest's ASSERT-in-helper or a plain std::runtime_error)
+  /// to fail the schedule. May be empty.
+  std::function<void()> check;
+};
+
+using ProtocolFactory = std::function<Protocol()>;
+
+struct ExploreConfig {
+  std::uint64_t seed = 20260808;
+  /// Seeded random schedules after the exhaustive pass.
+  std::size_t random_schedules = 200;
+  /// Depth of the bounded-exhaustive prefix pass (0 disables it): every
+  /// distinct sequence of the first `exhaustive_depth` scheduling
+  /// decisions is enumerated, with a round-robin tail.
+  std::size_t exhaustive_depth = 0;
+  std::size_t max_steps = 200000;
+};
+
+struct ExploreStats {
+  std::size_t schedules = 0;   // total schedules executed
+  std::size_t exhaustive = 0;  // of which from the prefix enumeration
+  std::size_t max_points = 0;  // longest schedule observed (decision count)
+};
+
+/// Run one schedule of a fresh protocol instance under `src`; a failing
+/// invariant check is rethrown as a ScheduleError carrying the replay
+/// picks of the schedule that produced the state.
+inline util::sched::RunResult run_one_schedule(const ProtocolFactory& factory,
+                                               util::sched::ScheduleSource& src,
+                                               std::size_t max_steps) {
+  Protocol p = factory();
+  util::sched::Scheduler::Options opts;
+  opts.max_steps = max_steps;
+  util::sched::RunResult r =
+      util::sched::Scheduler::run(std::move(p.bodies), src, opts);
+  if (p.check) {
+    try {
+      p.check();
+    } catch (const util::sched::ScheduleError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw util::sched::ScheduleError(
+          std::string("invariant violated at quiescence: ") + e.what(), r.picks,
+          r.trace, /*deadlock=*/false);
+    }
+  }
+  return r;
+}
+
+/// Replay one recorded pick list verbatim (round-robin past its end).
+inline util::sched::RunResult replay(const ProtocolFactory& factory,
+                                     const std::vector<std::size_t>& picks,
+                                     std::size_t max_steps = 200000) {
+  util::sched::PickListSchedule src(picks);
+  return run_one_schedule(factory, src, max_steps);
+}
+
+/// Full campaign: bounded-exhaustive prefixes, then seeded random
+/// schedules. Throws the first failing schedule's ScheduleError.
+inline ExploreStats explore(const ProtocolFactory& factory, const ExploreConfig& cfg) {
+  ExploreStats stats;
+  const auto note = [&stats](const util::sched::RunResult& r) {
+    ++stats.schedules;
+    if (r.picks.size() > stats.max_points) stats.max_points = r.picks.size();
+  };
+
+  if (cfg.exhaustive_depth > 0) {
+    // Odometer over the schedule tree: run the current prefix (round-robin
+    // tail), read back the branching factor at each decision, and advance
+    // the deepest position that still has unexplored siblings. Positions
+    // shallower than the incremented one keep their picks, so each
+    // iteration's branching factors are valid for the prefix it extends.
+    std::vector<std::size_t> prefix;
+    for (;;) {
+      util::sched::PickListSchedule src(prefix);
+      const util::sched::RunResult r = run_one_schedule(factory, src, cfg.max_steps);
+      note(r);
+      ++stats.exhaustive;
+      const std::size_t depth = std::min(cfg.exhaustive_depth, r.branching.size());
+      prefix.assign(r.picks.begin(),
+                    r.picks.begin() + static_cast<std::ptrdiff_t>(depth));
+      while (!prefix.empty()) {
+        const std::size_t last = prefix.size() - 1;
+        if (prefix[last] + 1 < r.branching[last]) {
+          ++prefix[last];
+          break;
+        }
+        prefix.pop_back();
+      }
+      if (prefix.empty()) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < cfg.random_schedules; ++i) {
+    util::sched::RandomSchedule src(
+        util::derive_seed(cfg.seed, "sched/" + std::to_string(i)));
+    note(run_one_schedule(factory, src, cfg.max_steps));
+  }
+  return stats;
+}
+
+}  // namespace netcut::testing
