@@ -396,6 +396,106 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- failover: 4 workers, one fail-stops mid-run ----------------------
+  // The degraded-serving claim: after 1 of 4 replicas crashes at ~T/2, the
+  // survivors (with the orphaned shard re-queued onto them) sustain >= 0.7x
+  // of a clean 3-worker fleet's throughput under the same offered load, and
+  // admitted p99 stays inside the SLO budget. Gated on the same two-run
+  // digest bit-identity as every other fleet row.
+  constexpr std::size_t kVictim = 1;
+  const hw::FaultModel crash_model(hw::parse_fault_spec("crash=1@3000,seed=13"));
+  serve::FleetConfig fo_fc;
+  fo_fc.classes = {{"standard", 8.0 * curve(1), 8.0 * curve(1), 1.0}};
+  // Heartbeat deadlines a few batch times out (the service timescale of
+  // this simulated device) so detection fires while the dying shard still
+  // holds orphans.
+  fo_fc.health.suspect_after_ms = 2.0 * curve(8);
+  fo_fc.health.down_after_ms = 5.0 * curve(8);
+
+  serve_sim::FleetLoadConfig fo_load;
+  fo_load.requests = 200000;
+  fo_load.mean_interarrival_ms = curve(8) / 8.0 / 3.2;  // 80% of 4 workers
+  {
+    // Skew extra traffic onto the victim's shard (probed through the same
+    // seeded rendezvous routing the real run uses) so the drain actually
+    // carries orphans.
+    const serve::Fleet probe = make_fleet(graph, 4, fo_fc, fo_fc.classes[0].deadline_slack_ms);
+    for (std::uint32_t tenant = 1; tenant <= 8; ++tenant)
+      fo_load.tenants.push_back({tenant, 0, probe.route(tenant) == kVictim ? 3.0 : 1.0});
+  }
+  const auto fo_arrivals = serve_sim::generate_fleet_arrivals(fo_load, fo_fc.classes, {});
+
+  serve::ReplicaHealth victim;
+  auto fo_once = [&](std::vector<serve::Completion>* capture) {
+    serve::FleetConfig cfg = fo_fc;
+    cfg.faults = &crash_model;
+    serve::Fleet fleet = make_fleet(graph, 4, cfg, cfg.classes[0].deadline_slack_ms);
+    const serve_sim::FleetReport rep = serve_sim::run_fleet_open_loop(fleet, fo_arrivals, capture);
+    victim = fleet.worker_health(kVictim);
+    return rep;
+  };
+  std::vector<serve::Completion> fo_completions;
+  const serve_sim::FleetReport fo_rep = fo_once(&fo_completions);
+  const bool fo_reproducible = serve_sim::fleet_reports_identical(fo_rep, fo_once(nullptr));
+
+  // Clean 3-worker reference under the identical offered load: what the
+  // shrunk fleet would do if it had been born with 3 replicas.
+  serve::FleetConfig steady_fc;
+  steady_fc.classes = fo_fc.classes;
+  const auto steady_arrivals = serve_sim::generate_fleet_arrivals(fo_load, steady_fc.classes, {});
+  auto steady_once = [&] {
+    serve::Fleet fleet = make_fleet(graph, 3, steady_fc, steady_fc.classes[0].deadline_slack_ms);
+    return serve_sim::run_fleet_open_loop(fleet, steady_arrivals);
+  };
+  const serve_sim::FleetReport steady_rep = steady_once();
+  const bool steady_reproducible = serve_sim::fleet_reports_identical(steady_rep, steady_once());
+
+  // Post-failover throughput: admitted completions finishing after the Down
+  // declaration, over the remaining simulated time.
+  const double detect_latency = victim.detected_ms - victim.last_progress_ms;
+  std::int64_t post_served = 0;
+  for (const serve::Completion& c : fo_completions)
+    if (!c.rejected && c.finish_ms > victim.detected_ms) ++post_served;
+  const double post_span_ms = fo_rep.makespan_ms - victim.detected_ms;
+  const double post_tput =
+      post_span_ms > 0 ? static_cast<double>(post_served) / post_span_ms * 1e3 : 0.0;
+  const double post_ratio =
+      steady_rep.throughput_rps > 0 ? post_tput / steady_rep.throughput_rps : 0.0;
+
+  std::printf("failover (4 workers, crash=%zu@3000 ~ T/2):\n", kVictim);
+  std::printf("  detection-to-drain %.3f ms after the last heartbeat (declared at %.2f ms "
+              "of %.2f ms)\n",
+              detect_latency, victim.detected_ms, fo_rep.makespan_ms);
+  std::printf("  drain: %lld orphans re-queued, %lld shed at re-admission; "
+              "failovers %lld, reproducible=%s\n",
+              static_cast<long long>(fo_rep.requeued),
+              static_cast<long long>(fo_rep.drain_shed),
+              static_cast<long long>(fo_rep.failovers), fo_reproducible ? "yes" : "NO");
+  std::printf("  post-failover %.1f req/s vs 3-worker steady %.1f req/s (%.2fx), "
+              "admitted p99 %.3f ms (budget %.3f ms), miss %.2f%%\n\n",
+              post_tput, steady_rep.throughput_rps, post_ratio, fo_rep.p99_response_ms,
+              fo_fc.classes[0].p99_budget_ms, 100.0 * fo_rep.miss_rate);
+
+  if (!fo_reproducible || !steady_reproducible) {
+    std::fprintf(stderr, "serve_snapshot: failover rows not bit-identical across same-seed runs\n");
+    ok = false;
+  }
+  if (fo_rep.failovers != 1) {
+    std::fprintf(stderr, "serve_snapshot: expected exactly 1 failover, got %lld\n",
+                 static_cast<long long>(fo_rep.failovers));
+    ok = false;
+  }
+  if (post_ratio < 0.7) {
+    std::fprintf(stderr, "serve_snapshot: post-failover throughput %.2fx below the 0.7x bar\n",
+                 post_ratio);
+    ok = false;
+  }
+  if (fo_rep.p99_response_ms > fo_fc.classes[0].p99_budget_ms) {
+    std::fprintf(stderr, "serve_snapshot: failover admitted p99 %.3f ms over the %.3f ms budget\n",
+                 fo_rep.p99_response_ms, fo_fc.classes[0].p99_budget_ms);
+    ok = false;
+  }
+
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "serve_snapshot: cannot open " << json_path << "\n";
@@ -432,7 +532,17 @@ int main(int argc, char** argv) {
           << (++i == overload.report.tenants.size() ? "" : ",") << "\n";
     }
   }
-  out << "    ]\n  }\n}\n";
+  out << "    ],\n    \"failover\": {\"workers\": 4, \"crash\": \"" << kVictim
+      << "@3000\", \"detection_latency_ms\": " << detect_latency
+      << ", \"detected_ms\": " << victim.detected_ms << ", \"requeued\": " << fo_rep.requeued
+      << ", \"drain_shed\": " << fo_rep.drain_shed << ", \"failovers\": " << fo_rep.failovers
+      << ", \"post_failover_throughput_rps\": " << post_tput
+      << ", \"three_worker_throughput_rps\": " << steady_rep.throughput_rps
+      << ", \"post_over_steady_ratio\": " << post_ratio
+      << ", \"p99_response_ms\": " << fo_rep.p99_response_ms
+      << ", \"p99_budget_ms\": " << fo_fc.classes[0].p99_budget_ms
+      << ", \"miss_rate\": " << fo_rep.miss_rate << ", \"digest\": " << fo_rep.digest
+      << ", \"reproducible\": " << (fo_reproducible ? "true" : "false") << "}\n  }\n}\n";
   std::cout << "wrote " << json_path << "\n";
   return ok ? 0 : 1;
 }

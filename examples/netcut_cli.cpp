@@ -3,6 +3,7 @@
 //
 //   netcut_cli [--deadline MS] [--estimator profiler|analytical]
 //              [--net NAME ...] [--fast] [--cache-dir DIR] [--workers N]
+//              [--kill-worker W@S]
 //
 // Example:
 //   ./build/examples/netcut_cli --deadline 0.6 --estimator analytical
@@ -10,6 +11,9 @@
 // --workers N skips the selection pipeline and runs the fleet serving demo
 // instead: N timing-only replicas behind the sharded queue with admission
 // control, under a deterministic two-tenant overload (serve/fleet.hpp).
+// --kill-worker W@S additionally fail-stops replica W at its S-th dispatch
+// attempt (the crash=W@S fault clause), printing the failover timeline:
+// detection, drain, orphan re-queue onto the survivors.
 //
 // Exit codes: 0 success, 1 no network meets the deadline, 2 bad arguments,
 // 3 filesystem failure (unreadable/unwritable caches), 4 runtime failure.
@@ -26,6 +30,7 @@
 #include "core/estimator.hpp"
 #include "core/netcut.hpp"
 #include "hw/device.hpp"
+#include "hw/faults.hpp"
 #include "serve/fleet.hpp"
 #include "serve_sim.hpp"
 #include "tensor/backend.hpp"
@@ -42,7 +47,7 @@ void usage() {
   std::printf(
       "usage: netcut_cli [--deadline MS] [--estimator profiler|analytical]\n"
       "                  [--net NAME ...] [--fast] [--cache-dir DIR]\n"
-      "                  [--backend scalar|simd] [--workers N]\n"
+      "                  [--backend scalar|simd] [--workers N] [--kill-worker W@S]\n"
       "nets: ");
   for (auto id : netcut::zoo::all_nets())
     std::printf("%s ", netcut::zoo::net_name(id).c_str());
@@ -53,7 +58,7 @@ void usage() {
 // N replicas over the smallest zoo trunk, driven by the same deterministic
 // open-loop simulation the tests and bench use, at ~1.5x the fleet's
 // aggregate capacity so admission control visibly sheds.
-int run_fleet_demo(std::size_t workers) {
+int run_fleet_demo(std::size_t workers, const std::string& kill_spec) {
   using namespace netcut;
 
   const auto graph = std::make_shared<const nn::Graph>(
@@ -66,9 +71,22 @@ int run_fleet_demo(std::size_t workers) {
     return cache->emplace(b, v).first->second;
   };
 
+  // --kill-worker W@S is sugar for the crash=W@S NETCUT_FAULTS clause,
+  // scoped to this fleet (measurement streams are untouched).
+  const hw::FaultModel kill_model(
+      kill_spec.empty() ? hw::parse_fault_spec("off")
+                        : hw::parse_fault_spec("crash=" + kill_spec));
+
   serve::FleetConfig fc;
   fc.classes = {{"gold", 5.0 * curve(1), 5.0 * curve(1), 3.0},
                 {"standard", 9.0 * curve(1), 9.0 * curve(1), 1.0}};
+  if (!kill_spec.empty()) {
+    fc.faults = &kill_model;
+    // Heartbeat deadlines a few batch times out, on the simulated fleet's
+    // service timescale, so detection (and the drain) lands mid-run.
+    fc.health.suspect_after_ms = 2.0 * curve(8);
+    fc.health.down_after_ms = 5.0 * curve(8);
+  }
   std::vector<serve::FleetWorker> specs;
   for (std::size_t w = 0; w < workers; ++w) {
     serve::FleetWorker fw;
@@ -106,6 +124,17 @@ int run_fleet_demo(std::size_t workers) {
                 static_cast<long long>(tr.submitted), 100.0 * tr.shed_rate,
                 100.0 * tr.miss_rate, tr.p99_response_ms,
                 fc.classes[tr.slo].p99_budget_ms);
+  if (!kill_spec.empty()) {
+    std::printf("  failover: %lld declared (--kill-worker %s), %lld orphans re-queued, "
+                "%lld shed at re-admission\n",
+                static_cast<long long>(rep.failovers), kill_spec.c_str(),
+                static_cast<long long>(rep.requeued),
+                static_cast<long long>(rep.drain_shed));
+    for (std::size_t w = 0; w < fleet.workers(); ++w)
+      std::printf("  %s: %s, %lld batches\n", fleet.worker_name(w).c_str(),
+                  serve::replica_state_name(fleet.worker_state(w)),
+                  static_cast<long long>(fleet.worker(w).stats().batches));
+  }
   return 0;
 }
 
@@ -117,7 +146,8 @@ int run_cli(int argc, char** argv) {
   std::vector<zoo::NetId> nets;
   bool fast = false;
   std::string cache_dir;
-  std::size_t workers = 0;  // 0 = no fleet demo
+  std::size_t workers = 0;      // 0 = no fleet demo
+  std::string kill_worker;      // "W@S" crash spec for the fleet demo
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +175,19 @@ int run_cli(int argc, char** argv) {
         return kExitBadArgs;
       }
       workers = static_cast<std::size_t>(n);
+    } else if (arg == "--kill-worker" && i + 1 < argc) {
+      // Validate eagerly: the value is the W@S body of a crash= clause, so
+      // the fault-spec parser is the single source of truth for its shape.
+      kill_worker = argv[++i];
+      try {
+        (void)hw::parse_fault_spec("crash=" + kill_worker);
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr,
+                     "netcut_cli: --kill-worker needs W@S (replica index @ dispatch "
+                     "attempt), got '%s'\n",
+                     kill_worker.c_str());
+        return kExitBadArgs;
+      }
     } else if (arg == "--net" && i + 1 < argc) {
       const std::string want = argv[++i];
       bool found = false;
@@ -164,7 +207,12 @@ int run_cli(int argc, char** argv) {
     }
   }
 
-  if (workers > 0) return run_fleet_demo(workers);
+  if (!kill_worker.empty() && workers == 0) {
+    std::fprintf(stderr, "netcut_cli: --kill-worker only applies to the fleet demo; "
+                         "pass --workers N as well\n");
+    return kExitBadArgs;
+  }
+  if (workers > 0) return run_fleet_demo(workers, kill_worker);
 
   // Redirect both experiment caches under --cache-dir, creating it eagerly
   // so an unusable location fails fast (exit 3) before any expensive work.

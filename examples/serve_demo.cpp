@@ -20,6 +20,7 @@
 //
 // Everything runs on the deterministic simulated clock from
 // tests/serve_sim.hpp, so this demo prints the same numbers on every run.
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -29,6 +30,7 @@
 
 #include "core/trn.hpp"
 #include "hw/device.hpp"
+#include "hw/faults.hpp"
 #include "nn/init.hpp"
 #include "nn/network.hpp"
 #include "serve/fleet.hpp"
@@ -231,5 +233,84 @@ int main() {
                 tenant, fc.classes[tr.slo].name.c_str(), tenant == 99 ? " [bursty]" : "",
                 static_cast<long long>(tr.submitted), 100.0 * tr.shed_rate,
                 100.0 * tr.miss_rate, tr.p99_response_ms, fc.classes[tr.slo].p99_budget_ms);
+
+  // -------------------------------------------------------------------------
+  // Failover: four homogeneous replicas, replica 2 fail-stops mid-run via a
+  // crash= worker clause. Heartbeat deadlines (on the service timescale)
+  // declare it Down, its shard is drained and the orphans are re-queued onto
+  // the survivors — explicit outcomes only, no silent misses.
+  // -------------------------------------------------------------------------
+  const char* kill_spec = "crash=2@200,seed=17";
+  const hw::FaultModel kill_model(hw::parse_fault_spec(kill_spec));
+
+  std::vector<serve::FleetWorker> fo_specs;
+  for (std::size_t w = 0; w < 4; ++w) {
+    serve::FleetWorker fw;
+    fw.name = "replica" + std::to_string(w);
+    // Timing-only options: the failover act is about the control plane, so
+    // it skips the batch forwards and runs purely on the latency curves.
+    fw.options = {{"preferred", nullptr, batch_curve(preferred_graph)},
+                  {"fallback", nullptr, batch_curve(fallback_graph)}};
+    fw.serve.max_batch = 8;
+    fw.serve.nominal_deadline_ms = 8.0 * pref_curve(1);
+    fw.serve.seed = util::derive_seed(7070, "demo/failover/worker/" + std::to_string(w));
+    fw.serve.watchdog.window = 16;
+    fo_specs.push_back(std::move(fw));
+  }
+  serve::FleetConfig fo_cfg;
+  fo_cfg.classes = {{"standard", 8.0 * pref_curve(1), 8.0 * pref_curve(1), 1.0}};
+  fo_cfg.faults = &kill_model;
+  // Heartbeat deadlines a few batch times out — long silences on a fleet
+  // this fast would let the stealers drain the dying shard before the
+  // detector ever fires.
+  fo_cfg.health.suspect_after_ms = 2.0 * pref_curve(8);
+  fo_cfg.health.down_after_ms = 5.0 * pref_curve(8);
+  serve::Fleet fo_fleet(std::move(fo_specs), fo_cfg);
+
+  serve_sim::FleetLoadConfig fo_load;
+  fo_load.requests = 12000;
+  fo_load.mean_interarrival_ms = pref_curve(8) / 8.0 / 3.2;  // ~80% of 4 replicas
+  for (std::uint32_t tenant = 1; tenant <= 8; ++tenant)
+    fo_load.tenants.push_back({tenant, 0, 1.0});
+  const auto fo_arrivals = serve_sim::generate_fleet_arrivals(fo_load, fo_cfg.classes, {});
+  std::vector<serve::Completion> fo_completions;
+  const serve_sim::FleetReport fo_rep =
+      serve_sim::run_fleet_open_loop(fo_fleet, fo_arrivals, &fo_completions);
+
+  const serve::ReplicaHealth dead = fo_fleet.worker_health(2);
+  std::printf("\nfailover act: NETCUT_FAULTS=\"%s\" kills replica2 mid-run\n", kill_spec);
+  std::printf("  timeline: last heartbeat %.3f ms -> declared %s at %.3f ms "
+              "(detection latency %.3f ms)\n",
+              dead.last_progress_ms, serve::replica_state_name(dead.state),
+              dead.detected_ms, dead.detected_ms - dead.last_progress_ms);
+  std::printf("  drain: %lld orphans re-queued onto survivors, %lld shed at "
+              "re-admission (of %lld shed total)\n",
+              static_cast<long long>(fo_rep.requeued),
+              static_cast<long long>(fo_rep.drain_shed),
+              static_cast<long long>(fo_rep.shed));
+  // Post-failover tail: admitted responses that finished after detection.
+  std::vector<double> post;
+  for (const serve::Completion& c : fo_completions)
+    if (!c.rejected && c.finish_ms > dead.detected_ms)
+      post.push_back(c.finish_ms - c.arrival_ms);
+  std::sort(post.begin(), post.end());
+  std::printf("  post-failover: p99 %.3f ms vs budget %.3f ms over %zu completions, "
+              "miss rate %.2f%%\n",
+              serve_sim::quantile(post, 0.99), fo_cfg.classes[0].p99_budget_ms, post.size(),
+              100.0 * fo_rep.miss_rate);
+  for (std::size_t w = 0; w < fo_fleet.workers(); ++w) {
+    const auto& sw = fo_fleet.worker(w).stats().switches;
+    std::printf("  %-9s %-9s %4lld batches, %zu watchdog switch%s%s\n",
+                fo_fleet.worker_name(w).c_str(),
+                serve::replica_state_name(fo_fleet.worker_state(w)),
+                static_cast<long long>(fo_fleet.worker(w).stats().batches), sw.size(),
+                sw.size() == 1 ? "" : "es",
+                w == 2 ? "  <- killed" : "");
+  }
+  std::printf("  conservation: %lld submitted = %lld served + %lld shed (explicit), "
+              "%lld failover\n",
+              static_cast<long long>(fo_rep.submitted),
+              static_cast<long long>(fo_rep.served), static_cast<long long>(fo_rep.shed),
+              static_cast<long long>(fo_rep.failovers));
   return 0;
 }

@@ -11,8 +11,12 @@
 #    schedule (spikes, drops, interference bursts) — the self-healing
 #    measurement path must keep every result inside its tolerances
 # 4. serving layer (ctest -L serve): the batched-serving suite on its own,
-#    clean and again under the chaos schedule, then a --label-summary line
-#    with per-label pass counts
+#    clean, again under the chaos schedule, and a third time under the
+#    failover chaos schedule (worker crash + hang + flaky dispatch + a
+#    throttle window, so replica death and mere slowness coexist); every
+#    fleet test pins its own FaultModel, so the env schedule proves the
+#    pinning rather than perturbing the assertions; then a --label-summary
+#    line with per-label pass counts
 # 5. kernel backends: the numerics-sensitive suites (ctest -L
 #    "kernels|layers|quant") once under NETCUT_BACKEND=scalar and once
 #    under NETCUT_BACKEND=simd — both dispatch tables must hold the same
@@ -32,7 +36,11 @@
 # 9. ThreadSanitizer (build-tsan/): the serving layer and the model-checker
 #    suites (ctest -L "serve|sched"), clean and again under the chaos
 #    schedule — the sharded queue, work stealing, fleet loop and the
-#    scheduler's own handoff protocol are the lock-heavy surface
+#    scheduler's own handoff protocol are the lock-heavy surface; a final
+#    serve pass runs under the failover chaos schedule with the runtime
+#    lock-discipline analyzer armed (NETCUT_LOCKCHECK=1), so drain +
+#    re-queue + recovery interleavings face TSan and the rank checker at
+#    the same time
 # 10. UndefinedBehaviorSanitizer (build-ubsan/): full tier-1 suite with
 #    -fno-sanitize-recover=all, so any UB aborts the run
 # 11. clang-tidy over src/ (scripts/tidy.sh; skips cleanly when the host
@@ -44,6 +52,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NETCUT_CHAOS_SCHEDULE="spike=0.02x2.5,drop=0.002,burst=0.01x6x1.5,seed=20260806"
+
+# Failover chaos: worker-scoped failures (a crash, a transient hang, flaky
+# dispatch) layered on a throttle window, so detection has to separate dead
+# replicas from slow ones. Fleet tests pin their own FaultModel; this run
+# proves that pinning holds even when the environment says "kill worker 1".
+NETCUT_FAILOVER_SCHEDULE="crash=1@700,hang=2@350~40,flaky=3x0.05,throttle=2.0@100~400,seed=20260808"
 
 # Per-label pass counts from dedicated `ctest -L <label>` runs (ctest has no
 # built-in pass-count-per-label report; the label suites are small).
@@ -75,9 +89,11 @@ echo "==> [3/12] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [4/12] serving layer (ctest -L serve, clean + chaos)"
+echo "==> [4/12] serving layer (ctest -L serve, clean + chaos + failover chaos)"
 ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
+  ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
+NETCUT_FAULTS="$NETCUT_FAILOVER_SCHEDULE" \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 label_summary
 
@@ -107,12 +123,17 @@ echo "==> [8/12] negative tests (seeded bugs must be caught)"
 ./tests/negative/sched_catches_lost_wakeup.sh build/tests/test_sched
 ./tests/negative/tsan_catches_race.sh
 
-echo "==> [9/12] TSan: serve + sched (ctest -L serve|sched, clean + chaos)"
+echo "==> [9/12] TSan: serve + sched (ctest -L serve|sched, clean + chaos + failover)"
 cmake -B build-tsan -S . -DNETCUT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target test_serve test_sched
+cmake --build build-tsan -j "$(nproc)" --target test_serve test_sched test_serve_failover
 ctest --test-dir build-tsan -L 'serve|sched' --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build-tsan -L 'serve|sched' --output-on-failure -j "$(nproc)"
+# Failover chaos under TSan with the runtime lock analyzer armed: shard
+# drain, orphan re-queue and warm-up stealing are exactly the paths where a
+# rank inversion or a lock held across a blocking call would hide.
+NETCUT_FAULTS="$NETCUT_FAILOVER_SCHEDULE" NETCUT_LOCKCHECK=1 \
+  ctest --test-dir build-tsan -L serve --output-on-failure -j "$(nproc)"
 
 echo "==> [10/12] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null

@@ -21,6 +21,14 @@ void MissRateWatchdog::reset_window() {
   calm_streak_ = 0;
 }
 
+bool MissRateWatchdog::note_capacity_loss() {
+  util::MutexLock lock(mu_);
+  if (!config_.enabled || current_ + 1 >= option_count_) return false;
+  ++current_;
+  reset_window();
+  return true;
+}
+
 MissRateWatchdog::Decision MissRateWatchdog::observe(bool missed, bool slower_fits) {
   util::MutexLock lock(mu_);
   Decision d;

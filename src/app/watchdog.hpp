@@ -82,6 +82,15 @@ class MissRateWatchdog {
   /// consulted while current() > 0). Acts at most one step per call.
   Decision observe(bool missed, bool slower_fits);
 
+  /// External capacity-loss signal (a fleet replica died and this server
+  /// must absorb its load): fall back one step *now*, without waiting for
+  /// the window to fill with misses. Bypasses the cooldown — the signal is
+  /// a hard fact, not a noisy miss-rate estimate — but resets the window
+  /// and streaks, so stepping back up still takes the full recovery
+  /// patience (no flap when replicas churn). Returns true when a step was
+  /// taken (false when disabled or already at the fastest option).
+  bool note_capacity_loss();
+
  private:
   void reset_window() NETCUT_REQUIRES(mu_);
 

@@ -119,6 +119,40 @@ FaultConfig parse_fault_spec(std::string_view spec) {
     } else if (key == "drop") {
       cfg.drop_prob = parse_prob(val, clause);
       cfg.enabled = true;
+    } else if (key == "crash") {
+      // W@S
+      const std::size_t at = val.find('@');
+      if (at == std::string::npos)
+        throw std::invalid_argument("NETCUT_FAULTS: crash wants W@S, got '" + clause + "'");
+      cfg.crash_worker = parse_int(val.substr(0, at), clause);
+      cfg.crash_attempt = parse_int(val.substr(at + 1), clause);
+      if (cfg.crash_worker < 0 || cfg.crash_attempt < 0)
+        throw std::invalid_argument("NETCUT_FAULTS: crash wants W>=0, S>=0 in '" + clause +
+                                    "'");
+      cfg.enabled = true;
+    } else if (key == "hang") {
+      // W@S~D
+      const std::size_t at = val.find('@');
+      const std::size_t tilde = val.find('~');
+      if (at == std::string::npos || tilde == std::string::npos || tilde < at)
+        throw std::invalid_argument("NETCUT_FAULTS: hang wants W@S~D, got '" + clause + "'");
+      cfg.hang_worker = parse_int(val.substr(0, at), clause);
+      cfg.hang_attempt = parse_int(val.substr(at + 1, tilde - at - 1), clause);
+      cfg.hang_ms = parse_num(val.substr(tilde + 1), clause);
+      if (cfg.hang_worker < 0 || cfg.hang_attempt < 0 || cfg.hang_ms <= 0.0)
+        throw std::invalid_argument("NETCUT_FAULTS: hang wants W>=0, S>=0, D>0 in '" +
+                                    clause + "'");
+      cfg.enabled = true;
+    } else if (key == "flaky") {
+      // WxP
+      const std::size_t x = val.find('x');
+      if (x == std::string::npos)
+        throw std::invalid_argument("NETCUT_FAULTS: flaky wants WxP, got '" + clause + "'");
+      cfg.flaky_worker = parse_int(val.substr(0, x), clause);
+      cfg.flaky_prob = parse_prob(val.substr(x + 1), clause);
+      if (cfg.flaky_worker < 0)
+        throw std::invalid_argument("NETCUT_FAULTS: flaky wants W>=0 in '" + clause + "'");
+      cfg.enabled = true;
     } else {
       throw std::invalid_argument("NETCUT_FAULTS: unknown clause '" + clause + "'");
     }
@@ -138,12 +172,31 @@ std::string format_fault_spec(const FaultConfig& config) {
   char buf[320];
   std::snprintf(buf, sizeof buf,
                 "throttle=%.17g@%d~%.17g,spike=%.17gx%.17g,burst=%.17gx%dx%.17g,"
-                "drop=%.17g,seed=%llu",
+                "drop=%.17g",
                 config.throttle_mult, config.throttle_start, config.throttle_decay,
                 config.spike_prob, config.spike_mult, config.burst_prob, config.burst_len,
-                config.burst_mult, config.drop_prob,
-                static_cast<unsigned long long>(config.seed));
-  return buf;
+                config.burst_mult, config.drop_prob);
+  std::string out = buf;
+  // Worker-scoped clauses carry their own "absent" state (-1), so they are
+  // spelled only when targeted — parse(format(c)) == c either way.
+  if (config.crash_worker >= 0) {
+    std::snprintf(buf, sizeof buf, ",crash=%d@%d", config.crash_worker,
+                  config.crash_attempt);
+    out += buf;
+  }
+  if (config.hang_worker >= 0) {
+    std::snprintf(buf, sizeof buf, ",hang=%d@%d~%.17g", config.hang_worker,
+                  config.hang_attempt, config.hang_ms);
+    out += buf;
+  }
+  if (config.flaky_worker >= 0) {
+    std::snprintf(buf, sizeof buf, ",flaky=%dx%.17g", config.flaky_worker,
+                  config.flaky_prob);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, ",seed=%llu", static_cast<unsigned long long>(config.seed));
+  out += buf;
+  return out;
 }
 
 FaultStream::FaultStream(const FaultConfig& config, std::uint64_t stream_seed)

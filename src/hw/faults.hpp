@@ -20,7 +20,19 @@
 //                    the self-healing measurement path)
 //   seed=N           schedule seed (decorrelated per stream label)
 //   off              explicitly disabled (same as an empty spec)
+//
+// Worker-scoped failure modes (consumed by the fleet's health layer,
+// serve/health.hpp; the per-run measurement streams above ignore them, so
+// adding one never perturbs a timing number):
+//   crash=W@S        fleet worker W dies permanently at its S-th dispatch
+//                    attempt (fail-stop: no batch, no heartbeat, ever)
+//   hang=W@S~D       worker W goes silent for D ms starting at attempt S
+//                    (wedged, then resumes — the recovery path's fault)
+//   flaky=WxP        each of worker W's dispatch attempts fails with
+//                    probability P (observed errors, drawn from a
+//                    per-worker seeded stream)
 // Example: NETCUT_FAULTS="throttle=2.0@200~400,spike=0.02x6,drop=0.01"
+// Example: NETCUT_FAULTS="crash=2@120,hang=1@40~25,flaky=3x0.2"
 //
 // With no schedule active every consumer takes its exact pre-fault code
 // path, so clean outputs stay bit-identical.
@@ -49,9 +61,24 @@ struct FaultConfig {
   double burst_mult = 3.0;
   // drop=P
   double drop_prob = 0.0;
+  // crash=W@S (worker-scoped; -1 = no worker targeted)
+  int crash_worker = -1;
+  int crash_attempt = 0;
+  // hang=W@S~D
+  int hang_worker = -1;
+  int hang_attempt = 0;
+  double hang_ms = 0.0;
+  // flaky=WxP
+  int flaky_worker = -1;
+  double flaky_prob = 0.0;
   std::uint64_t seed = 0xFA017uLL;
 
   bool operator==(const FaultConfig&) const = default;
+
+  /// True when any worker-scoped clause (crash/hang/flaky) is present.
+  bool targets_workers() const {
+    return crash_worker >= 0 || hang_worker >= 0 || flaky_worker >= 0;
+  }
 };
 
 /// Parses the NETCUT_FAULTS grammar above. Empty or "off" yields a

@@ -20,6 +20,15 @@
 //  * Per-tenant accounting. Submitted/shed/served/missed counters per
 //    tenant, keyed by the tenant id and SLO class carried on every
 //    Request and Completion.
+//  * Replica failover (serve/health.hpp). Heartbeat deadlines driven off
+//    the same step(now) clock detect a crashed or wedged replica; on Down
+//    its shard is drained atomically and every orphan is re-queued in EDF
+//    order onto the surviving shards, re-admission-checked against the
+//    shrunk capacity (infeasible orphans become explicit Rejected
+//    completions, never silent misses). Survivors' watchdogs get a
+//    capacity-loss nudge — the fleet degrades accuracy, not deadlines.
+//    Recovered replicas re-enter steal-only and earn routing + admission
+//    back through a clean-batch warm-up ramp.
 //
 // Like everything in serve::, the fleet is clock-agnostic and
 // deterministic: callers pass `now_ms`, every random choice draws from
@@ -49,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/health.hpp"
 #include "serve/server.hpp"
 #include "serve/shard.hpp"
 #include "util/ranked_mutex.hpp"
@@ -96,6 +106,12 @@ struct FleetConfig {
   /// Weighted tenant fairness engages when the total backlog reaches this
   /// many requests; below it any feasible request is admitted.
   std::size_t pressure_backlog = 64;
+  /// Replica lifecycle knobs (heartbeat deadlines, probation, warm-up).
+  HealthConfig health;
+  /// Worker-scoped fault schedule (crash=/hang=/flaky= clauses); nullptr
+  /// falls back to FaultModel::global() — the NETCUT_FAULTS environment
+  /// schedule — like ServeConfig::faults.
+  const hw::FaultModel* faults = nullptr;
 };
 
 /// Per-tenant counters (explicit outcomes only: submitted = shed + served
@@ -114,6 +130,13 @@ struct FleetStats {
   std::int64_t served = 0;
   std::int64_t missed = 0;
   std::int64_t steals = 0;  // successful shard-to-shard migrations
+  // Failover accounting. drain_shed is a subset of shed: orphans the
+  // shrunk fleet could no longer serve in budget (explicit rejections,
+  // never silent misses), so submitted == shed + served + in flight holds
+  // through replica death too.
+  std::int64_t failovers = 0;  // Down declarations that triggered a drain
+  std::int64_t requeued = 0;   // orphans re-queued onto surviving shards
+  std::int64_t drain_shed = 0;  // orphans shed at re-admission
 };
 
 class Fleet {
@@ -124,6 +147,16 @@ class Fleet {
   const std::string& worker_name(std::size_t w) const { return names_[w]; }
   const BatchServer& worker(std::size_t w) const { return *servers_[w]; }
   const FleetConfig& config() const { return config_; }
+
+  /// Lifecycle state of worker `w` (see serve/health.hpp). Safe from any
+  /// thread; snapshots by value.
+  ReplicaState worker_state(std::size_t w) const;
+  ReplicaHealth worker_health(std::size_t w) const;
+
+  /// Shard a request from `tenant` currently routes to (rendezvous hash
+  /// over the Up replicas). Exposed for tests/demos that need to aim load
+  /// at a particular replica.
+  std::size_t route(std::uint32_t tenant) const { return queue_.route(tenant); }
 
   /// Admission control at time `now_ms`: either the request is enqueued on
   /// its shard (nullopt) or it is shed and the explicit Rejected
@@ -161,6 +194,19 @@ class Fleet {
  private:
   bool feasible(const Request& r, double now_ms) const NETCUT_REQUIRES(mu_);
   bool over_fair_share(const Request& r) const NETCUT_REQUIRES(mu_);
+  /// Health bookkeeping at `now_ms`: applies heartbeat-deadline and
+  /// probation transitions, then drains any Down shard with pending work
+  /// (a freshly-declared death or a stray that raced a push past the
+  /// routing flip). Returns the explicit rejections produced by drains.
+  std::vector<Completion> failover_pass(double now_ms);
+  /// Atomically empty worker `w`'s shard and re-queue every orphan the
+  /// shrunk fleet can still serve in budget (EDF order preserved); the
+  /// rest are shed with explicit Rejected completions.
+  std::vector<Completion> drain_worker(std::size_t w, double now_ms);
+  /// Mirror worker `w`'s lifecycle state into the routing set and, on a
+  /// fresh Down declaration, count the failover and nudge the survivors'
+  /// watchdogs. Returns the survivors to notify (outside the lock).
+  std::vector<std::size_t> on_went_down(std::size_t w) NETCUT_REQUIRES(mu_);
 
   FleetConfig config_;           // immutable after construction
   ShardedQueue queue_;           // internally synchronized
@@ -181,6 +227,12 @@ class Fleet {
   std::map<std::uint32_t, std::int64_t> inflight_ NETCUT_GUARDED_BY(mu_);
   std::int64_t inflight_total_ NETCUT_GUARDED_BY(mu_) = 0;
   FleetStats stats_ NETCUT_GUARDED_BY(mu_);
+  /// Replica lifecycle + fault injection (externally synchronized types,
+  /// owned under the fleet lock like the rest of the admission state).
+  HealthMonitor monitor_ NETCUT_GUARDED_BY(mu_);
+  WorkerFaultInjector injector_ NETCUT_GUARDED_BY(mu_);
+  /// Dispatch attempts per worker — the `S` axis of crash=W@S / hang=W@S~D.
+  std::vector<std::int64_t> attempts_ NETCUT_GUARDED_BY(mu_);
 };
 
 }  // namespace netcut::serve

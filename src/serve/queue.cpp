@@ -74,6 +74,11 @@ std::vector<Request> RequestQueue::steal(std::size_t max_n) {
   return pop_locked(std::min(max_n, heap_.size()));
 }
 
+std::vector<Request> RequestQueue::drain() {
+  util::MutexLock lock(mu_);
+  return pop_locked(heap_.size());
+}
+
 bool RequestQueue::wait_nonempty() {
   util::MutexLock lock(mu_);
   cv_.wait(mu_, [&]() NETCUT_REQUIRES(mu_) { return !heap_.empty() || closed_; });

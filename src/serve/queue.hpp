@@ -60,6 +60,12 @@ class RequestQueue {
   /// empty when the queue is empty. Allowed on a closed queue (draining).
   std::vector<Request> steal(std::size_t max_n);
 
+  /// Atomically pop *everything*, in EDF order — the failover primitive: a
+  /// dead worker's shard is emptied in one critical section, so a
+  /// concurrent stealer sees either the full heap or nothing, never a
+  /// half-drained prefix. Allowed on a closed queue.
+  std::vector<Request> drain();
+
   /// Block until the queue is non-empty or closed. Returns true when there
   /// is work, false when the queue is closed and drained. The simulated
   /// clock never calls this; live (demo) servers do.

@@ -28,6 +28,13 @@ BatchServer::BatchServer(std::vector<ServeOption> options, RequestQueue& queue,
   if (model.active()) fault_stream_ = model.stream("serve");
 }
 
+void BatchServer::note_capacity_loss() {
+  util::MutexLock lock(mu_);
+  const std::size_t at = watchdog_.current();
+  if (watchdog_.note_capacity_loss())
+    stats_.switches.push_back({batch_counter_, at, at + 1, watchdog_.window_miss_rate()});
+}
+
 std::vector<Completion> BatchServer::step(double now_ms) {
   const std::size_t cur = watchdog_.current();
   std::vector<Request> batch = queue_.take([&](const Request& head, std::size_t pending) {

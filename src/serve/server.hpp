@@ -137,6 +137,14 @@ class BatchServer {
   /// observations) — the live health signal fleet reports surface.
   double window_miss_rate() const { return watchdog_.window_miss_rate(); }
 
+  /// Fleet capacity-loss signal (a sibling replica went Down and this one
+  /// inherits a slice of its load): proactively fall back one Pareto step
+  /// — degraded accuracy now beats the mass deadline misses the extra load
+  /// would cause before the miss-rate window could react. Recorded as a
+  /// ServeSwitch; a no-op when the watchdog is disabled or already at the
+  /// fastest option. Safe from any thread.
+  void note_capacity_loss();
+
   /// Snapshot of the accounting counters (by value: a reference into
   /// mutex-guarded state would dangle past the lock).
   ServeStats stats() const {

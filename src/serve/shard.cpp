@@ -8,7 +8,9 @@
 namespace netcut::serve {
 
 ShardedQueue::ShardedQueue(std::size_t shards, std::uint64_t seed)
-    : steals_(new std::atomic<std::int64_t>[shards == 0 ? 1 : shards]) {
+    : route_salt_(util::derive_seed(seed, "serve/route")),
+      steals_(new std::atomic<std::int64_t>[shards == 0 ? 1 : shards]),
+      routable_(new std::atomic<char>[shards == 0 ? 1 : shards]) {
   if (shards == 0) throw std::invalid_argument("ShardedQueue: need at least one shard");
   shards_.reserve(shards);
   steal_rng_.reserve(shards);
@@ -16,10 +18,42 @@ ShardedQueue::ShardedQueue(std::size_t shards, std::uint64_t seed)
     shards_.push_back(std::make_unique<RequestQueue>());
     steal_rng_.emplace_back(util::derive_seed(seed, "serve/steal/" + std::to_string(w)));
     steals_[w].store(0, std::memory_order_relaxed);
+    routable_[w].store(1, std::memory_order_relaxed);
   }
 }
 
-void ShardedQueue::push(Request r) { shards_[route(r.id)]->push(r); }
+std::size_t ShardedQueue::route(std::uint32_t tenant) const {
+  // Highest-random-weight: every candidate shard scores a seeded hash of
+  // (salt, tenant, shard) — two splitmix64 rounds whiten the inputs — and
+  // the maximum wins. Evaluating a seeded hash is the stateless form of a
+  // seeded-RNG draw, so the tie-break (strictly-greater keeps the lowest
+  // winning index) is deterministic and same-seed runs stay bit-identical.
+  std::size_t best = shards_.size();
+  std::uint64_t best_weight = 0;
+  const bool any_routable = [&] {
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      if (routable(s)) return true;
+    return false;
+  }();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (any_routable && !routable(s)) continue;
+    std::uint64_t state = route_salt_ ^ (static_cast<std::uint64_t>(tenant) + 1);
+    util::splitmix64(state);
+    state ^= static_cast<std::uint64_t>(s) + 0x9E3779B97F4A7C15ull;
+    const std::uint64_t weight = util::splitmix64(state);
+    if (best == shards_.size() || weight > best_weight) {
+      best = s;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+void ShardedQueue::push(Request r) { shards_[route(r.tenant)]->push(r); }
+
+void ShardedQueue::set_routable(std::size_t w, bool on) {
+  routable_[w].store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 std::size_t ShardedQueue::total_size() const {
   std::size_t n = 0;

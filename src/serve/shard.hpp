@@ -1,5 +1,5 @@
 // Sharded request queue: one RequestQueue per fleet worker, plus
-// deterministic seeded work stealing.
+// deterministic seeded work stealing and tenant-aware rendezvous routing.
 //
 // A single global queue serializes every worker's batch formation on one
 // lock; sharding gives each worker its own EDF heap (push and take contend
@@ -10,9 +10,17 @@
 // number downstream of it — is a pure function of (config, seed): the same
 // fleet simulation is bit-identical across runs and thread counts.
 //
-// Routing is by request id (round-robin `id % shards`), which is
-// tenant-blind and keeps the mapping stable under replay. Fairness across
-// tenants is the fleet's admission-control job, not the router's.
+// Routing is rendezvous (highest-random-weight) hashing on (tenant,
+// routable shards): every routable shard gets a seeded pseudo-random
+// weight for the tenant and the max wins. Same tenant, same shard — batch
+// formation sees co-located tenant traffic — and when a shard leaves the
+// routable set (replica Down/Degraded) only the tenants whose argmax was
+// that shard re-map; everyone else's mapping is untouched (the minimal-
+// disruption property that makes failover cheap). The weights are a pure
+// seeded hash evaluation, and ties (2^-64 events) break toward the lower
+// shard index off the same hash draw, so same-seed runs stay
+// bit-identical. Fairness across tenants is the fleet's admission-control
+// job, not the router's.
 #pragma once
 
 #include <atomic>
@@ -34,11 +42,23 @@ class ShardedQueue {
   RequestQueue& shard(std::size_t i) { return *shards_[i]; }
   const RequestQueue& shard(std::size_t i) const { return *shards_[i]; }
 
-  /// Shard index request `id` routes to (id % shards).
-  std::size_t route(std::uint64_t id) const { return id % shards_.size(); }
+  /// Shard index tenant `tenant` routes to: rendezvous hash over the
+  /// currently routable shards (all shards when none is marked routable,
+  /// so a fully-down fleet still has a deterministic mapping for the
+  /// admission path to shed against). Safe from any thread.
+  std::size_t route(std::uint32_t tenant) const;
 
-  /// Route one request to shard route(id).
+  /// Route one request to shard route(r.tenant).
   void push(Request r);
+
+  /// Membership of shard `w` in the routing set. The fleet's health layer
+  /// flips this on lifecycle transitions (only Up replicas take routed
+  /// work); atomics because submitters route concurrently. Shards start
+  /// routable.
+  void set_routable(std::size_t w, bool on);
+  bool routable(std::size_t w) const {
+    return routable_[w].load(std::memory_order_relaxed) != 0;
+  }
 
   /// Backlog across all shards.
   std::size_t total_size() const;
@@ -68,9 +88,12 @@ class ShardedQueue {
  private:
   std::vector<std::unique_ptr<RequestQueue>> shards_;
   std::vector<util::Rng> steal_rng_;  // one stream per worker (single-caller)
+  std::uint64_t route_salt_ = 0;      // seeds the rendezvous weights
   /// Successful steal count per worker: written only by worker w's balance
   /// (single-caller contract), read by any reporter, hence atomic.
   std::unique_ptr<std::atomic<std::int64_t>[]> steals_;
+  /// Routing-set membership per shard (1 = routable).
+  std::unique_ptr<std::atomic<char>[]> routable_;
 };
 
 }  // namespace netcut::serve

@@ -261,6 +261,9 @@ struct FleetReport {
   std::int64_t missed = 0;
   std::int64_t batches = 0;
   std::int64_t steals = 0;
+  std::int64_t failovers = 0;   // Down declarations that triggered a drain
+  std::int64_t requeued = 0;    // orphans re-queued onto surviving shards
+  std::int64_t drain_shed = 0;  // orphans shed at re-admission (subset of shed)
   double makespan_ms = 0.0;
   double throughput_rps = 0.0;   // served per second of simulated time
   double p50_response_ms = 0.0;  // admitted requests only
@@ -349,6 +352,9 @@ inline FleetReport run_fleet_open_loop(serve::Fleet& fleet,
   rep.served = fs.served;
   rep.missed = fs.missed;
   rep.steals = fs.steals;
+  rep.failovers = fs.failovers;
+  rep.requeued = fs.requeued;
+  rep.drain_shed = fs.drain_shed;
   for (std::size_t w = 0; w < fleet.workers(); ++w)
     rep.batches += fleet.worker(w).stats().batches;
   std::sort(responses.begin(), responses.end());
@@ -394,7 +400,8 @@ inline FleetReport run_fleet_open_loop(serve::Fleet& fleet,
 inline bool fleet_reports_identical(const FleetReport& a, const FleetReport& b) {
   if (a.digest != b.digest || a.submitted != b.submitted || a.shed != b.shed ||
       a.served != b.served || a.missed != b.missed || a.batches != b.batches ||
-      a.steals != b.steals || a.makespan_ms != b.makespan_ms ||
+      a.steals != b.steals || a.failovers != b.failovers || a.requeued != b.requeued ||
+      a.drain_shed != b.drain_shed || a.makespan_ms != b.makespan_ms ||
       a.throughput_rps != b.throughput_rps || a.p50_response_ms != b.p50_response_ms ||
       a.p99_response_ms != b.p99_response_ms || a.miss_rate != b.miss_rate ||
       a.shed_rate != b.shed_rate || a.tenants.size() != b.tenants.size())

@@ -89,6 +89,31 @@ TEST(CliExitCodes, WorkersRunsTheFleetDemo) {
   EXPECT_NE(r.output.find("explicit rejections"), std::string::npos) << r.output;
 }
 
+TEST(CliExitCodes, KillWorkerMalformedSpecExitsTwo) {
+  for (const char* spec : {"banana", "2", "2@", "@5", "-1@5", "2@-3"}) {
+    const auto r = testing::run_command(cli(std::string("--workers 4 --kill-worker ") + spec));
+    EXPECT_FALSE(r.signalled) << spec;
+    EXPECT_EQ(r.exit_code, 2) << spec << ": " << r.output;
+    EXPECT_NE(r.output.find("--kill-worker needs W@S"), std::string::npos)
+        << spec << ": " << r.output;
+  }
+}
+
+TEST(CliExitCodes, KillWorkerWithoutWorkersExitsTwo) {
+  const auto r = testing::run_command(cli("--kill-worker 1@50"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("pass --workers"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, KillWorkerRunsTheFailoverDemo) {
+  const auto r = testing::run_command(cli("--workers 4 --kill-worker 1@50"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("failover: 1 declared"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("replica1: down"), std::string::npos) << r.output;
+}
+
 TEST(CliExitCodes, UnknownNetworkExitsTwo) {
   const auto r = testing::run_command(cli("--net NoSuchNet-9.99"));
   EXPECT_FALSE(r.signalled);

@@ -72,11 +72,15 @@ TEST(FaultSpec, MalformedClausesThrow) {
   EXPECT_THROW(parse_fault_spec("spike=0.5"), std::invalid_argument);
   EXPECT_THROW(parse_fault_spec("bananas"), std::invalid_argument);
   EXPECT_THROW(parse_fault_spec("drop=2.0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("crash=2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("hang=1@2~0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("flaky=1x1.5"), std::invalid_argument);
 }
 
 TEST(FaultSpec, DiagnosticsAreOneLineAndNameTheVariable) {
   const char* bad[] = {"throttle=abc", "spike=0.5",    "bananas",     "drop=2.0",
-                       "burst=0.1x2",  "spike=-0.1x2", "throttle=0.5@1~1"};
+                       "burst=0.1x2",  "spike=-0.1x2", "throttle=0.5@1~1",
+                       "crash=-1@5",   "hang=1@2",     "flaky=2"};
   for (const char* spec : bad) {
     try {
       parse_fault_spec(spec);
@@ -98,7 +102,8 @@ TEST(FaultSpec, FuzzedTokenSoupNeverCrashes) {
   const char* tokens[] = {"throttle", "spike", "burst",  "drop", "seed", "off", "=",
                           ",",        "@",     "~",      "x",    "0",    "1",   "2.5",
                           "0.02",     "-1",    "1e300",  "nan",  "inf",  ".",   "e",
-                          "0x8",      "@2~",   "=0.1x6", ""};
+                          "0x8",      "@2~",   "=0.1x6", "",     "crash", "hang",
+                          "flaky",    "=2@5",  "x0.3"};
   constexpr int kCases = 2000;
   util::Rng rng(20260806);
   int parsed = 0, rejected = 0;
@@ -143,6 +148,16 @@ TEST(FaultSpec, ValidSpecsRoundTripThroughFormat) {
              std::to_string(rng.uniform_int(1, 32)) + "x" +
              std::to_string(rng.uniform(1.0, 8.0)));
     if (rng.chance(0.5)) clause("drop=" + std::to_string(rng.uniform(0.0, 1.0)));
+    if (rng.chance(0.5))
+      clause("crash=" + std::to_string(rng.uniform_int(0, 15)) + "@" +
+             std::to_string(rng.uniform_int(0, 5000)));
+    if (rng.chance(0.5))
+      clause("hang=" + std::to_string(rng.uniform_int(0, 15)) + "@" +
+             std::to_string(rng.uniform_int(0, 5000)) + "~" +
+             std::to_string(rng.uniform(1.0, 200.0)));
+    if (rng.chance(0.5))
+      clause("flaky=" + std::to_string(rng.uniform_int(0, 15)) + "x" +
+             std::to_string(rng.uniform(0.0, 1.0)));
     if (rng.chance(0.5)) clause("seed=" + std::to_string(rng.uniform_int(0, 1 << 30)));
 
     const FaultConfig once = parse_fault_spec(spec);

@@ -49,12 +49,13 @@ using tensor::Shape;
 using tensor::Tensor;
 
 serve::Request req(std::uint64_t id, double arrival, double deadline,
-                   const Tensor* input = nullptr) {
+                   const Tensor* input = nullptr, std::uint32_t tenant = 0) {
   serve::Request r;
   r.id = id;
   r.arrival_ms = arrival;
   r.deadline_ms = deadline;
   r.input = input;
+  r.tenant = tenant;
   return r;
 }
 
@@ -88,7 +89,8 @@ std::shared_ptr<const nn::Graph> small_trunk() {
 /// preferred curve (the clean setup for capacity/shedding arithmetic).
 serve::Fleet make_fleet(const std::shared_ptr<const nn::Graph>& graph, std::size_t n,
                         serve::FleetConfig cfg, double nominal_deadline_ms,
-                        bool tight = false, double fallback_scale = 0.25) {
+                        bool tight = false, double fallback_scale = 0.25,
+                        const hw::FaultModel* fleet_faults = nullptr) {
   std::vector<serve::FleetWorker> workers;
   for (std::size_t w = 0; w < n; ++w) {
     serve::FleetWorker fw;
@@ -102,6 +104,12 @@ serve::Fleet make_fleet(const std::shared_ptr<const nn::Graph>& graph, std::size
     if (tight) fw.serve.faults = &hw::FaultModel::disabled();
     workers.push_back(std::move(fw));
   }
+  // Worker-scoped fault clauses (crash=/hang=/flaky=) are pinned off at the
+  // fleet level unless a test passes its own model: this suite's numeric
+  // contracts describe the healthy fleet (and must hold under the
+  // multiplier chaos schedule); replica failure is exercised with explicit
+  // schedules here and in test_serve_failover.
+  cfg.faults = fleet_faults != nullptr ? fleet_faults : &hw::FaultModel::disabled();
   return serve::Fleet(std::move(workers), std::move(cfg));
 }
 
@@ -240,29 +248,68 @@ TEST(ServeQueue, CloseRacesConcurrentPushers) {
   EXPECT_EQ(drained.size(), static_cast<std::size_t>(landed.load()));
 }
 
-TEST(ShardedQueue, RoutesByIdAndStealsEdfHead) {
+TEST(ShardedQueue, RoutesByTenantAndStealsEdfHead) {
   serve::ShardedQueue sq(2, 1234);
-  // Even ids only: everything routes to shard 0, shard 1 runs dry.
+  // One tenant: rendezvous hashing sends its whole stream to one home
+  // shard (deterministic per seed), so the other shard runs dry.
+  const std::size_t home = sq.route(0);
+  const std::size_t thief = 1 - home;
   sq.push(req(0, 0.0, 40.0));
   sq.push(req(2, 0.0, 10.0));
   sq.push(req(4, 0.0, 20.0));
   sq.push(req(6, 0.0, 30.0));
-  EXPECT_EQ(sq.shard(0).size(), 4u);
-  EXPECT_EQ(sq.shard(1).size(), 0u);
+  EXPECT_EQ(sq.shard(home).size(), 4u);
+  EXPECT_EQ(sq.shard(thief).size(), 0u);
 
-  // Worker 1 steals: it takes the victim's earliest-deadline work.
-  const std::size_t stolen = sq.balance(1, 2);
+  // The dry worker steals: it takes the victim's earliest-deadline work.
+  const std::size_t stolen = sq.balance(thief, 2);
   EXPECT_EQ(stolen, 2u);
-  EXPECT_EQ(sq.steals(1), 1);
-  EXPECT_EQ(sq.shard(0).size(), 2u);
-  ASSERT_EQ(sq.shard(1).size(), 2u);
-  const auto got = take_all(sq.shard(1));
+  EXPECT_EQ(sq.steals(thief), 1);
+  EXPECT_EQ(sq.shard(home).size(), 2u);
+  ASSERT_EQ(sq.shard(thief).size(), 2u);
+  const auto got = take_all(sq.shard(thief));
   EXPECT_EQ(got[0].id, 2u);  // deadline 10
   EXPECT_EQ(got[1].id, 4u);  // deadline 20
 
   // A non-dry shard never steals.
   sq.push(req(8, 0.0, 5.0));
-  EXPECT_EQ(sq.balance(0, 8), 0u);
+  EXPECT_EQ(sq.balance(home, 8), 0u);
+}
+
+TEST(ShardedQueue, RendezvousRoutingIsDeterministicAndMinimallyDisruptive) {
+  // Same seed -> identical routing; different seed -> a different (but
+  // still valid) assignment. Dropping one shard from the routable set only
+  // remaps the tenants whose home was the dropped shard — every other
+  // tenant keeps its home (the minimal-disruption property that makes
+  // failover cheap: survivors' queues keep their EDF state).
+  serve::ShardedQueue a(4, 777);
+  serve::ShardedQueue b(4, 777);
+  std::map<std::uint32_t, std::size_t> before;
+  for (std::uint32_t tenant = 0; tenant < 64; ++tenant) {
+    EXPECT_EQ(a.route(tenant), b.route(tenant));
+    before[tenant] = a.route(tenant);
+  }
+  // All four shards attract some tenant (HRW spreads the keyspace).
+  std::vector<int> hits(4, 0);
+  for (const auto& [tenant, s] : before) ++hits[s];
+  for (int h : hits) EXPECT_GT(h, 0);
+
+  a.set_routable(2, false);
+  for (std::uint32_t tenant = 0; tenant < 64; ++tenant) {
+    const std::size_t now = a.route(tenant);
+    EXPECT_NE(now, 2u);
+    if (before[tenant] != 2) {
+      EXPECT_EQ(now, before[tenant]);
+    }
+  }
+  // Restoring the shard restores the original assignment exactly.
+  a.set_routable(2, true);
+  for (std::uint32_t tenant = 0; tenant < 64; ++tenant)
+    EXPECT_EQ(a.route(tenant), before[tenant]);
+  // With nothing routable, route() falls back to the full shard set.
+  for (std::size_t s = 0; s < 4; ++s) a.set_routable(s, false);
+  for (std::uint32_t tenant = 0; tenant < 8; ++tenant)
+    EXPECT_EQ(a.route(tenant), before[tenant]);
 }
 
 TEST(ShardedQueue, StealFromEmptyShardSetIsANoOp) {
@@ -277,12 +324,13 @@ TEST(ShardedQueue, StealFromEmptyShardSetIsANoOp) {
   // a fresh same-seed shard set's first steal bit-for-bit.
   serve::ShardedQueue fresh(4, 99);
   for (std::uint64_t i = 0; i < 8; ++i) {
-    sq.push(req(i * 4 + 1, 0.0, static_cast<double>(i)));   // all to shard 1
+    sq.push(req(i * 4 + 1, 0.0, static_cast<double>(i)));   // one tenant, one home shard
     fresh.push(req(i * 4 + 1, 0.0, static_cast<double>(i)));
   }
-  EXPECT_EQ(sq.balance(2, 3), fresh.balance(2, 3));
-  const auto a = take_all(sq.shard(2));
-  const auto b = take_all(fresh.shard(2));
+  const std::size_t thief = (sq.route(0) + 1) % 4;  // a shard that is dry for sure
+  EXPECT_EQ(sq.balance(thief, 3), fresh.balance(thief, 3));
+  const auto a = take_all(sq.shard(thief));
+  const auto b = take_all(fresh.shard(thief));
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
 }
@@ -562,7 +610,10 @@ TEST(FleetSim, FourWorkersSustainTripleOneWorkerThroughput) {
   FleetLoadConfig load;
   load.requests = 30000;
   load.mean_interarrival_ms = curve(8) / 8.0 / 6.0;  // ~6x one worker
-  load.tenants = {{1, 0, 1.0}};
+  // Many tenants so rendezvous hashing spreads the stream across shards
+  // (per-tenant routing concentrates any single tenant on one home shard).
+  load.tenants = {{1, 0, 1.0}, {2, 0, 1.0}, {3, 0, 1.0}, {4, 0, 1.0},
+                  {5, 0, 1.0}, {6, 0, 1.0}, {7, 0, 1.0}, {8, 0, 1.0}};
 
   auto run = [&](std::size_t workers) {
     serve::Fleet fleet = make_fleet(g, workers, fc, fc.classes[0].deadline_slack_ms,
@@ -576,18 +627,15 @@ TEST(FleetSim, FourWorkersSustainTripleOneWorkerThroughput) {
       << "four=" << four.throughput_rps << " one=" << one.throughput_rps;
   EXPECT_LE(four.miss_rate, one.miss_rate + 0.01);
   EXPECT_LT(four.shed_rate, one.shed_rate);  // more capacity, less shedding
-  // Balanced round-robin routing never leaves a shard dry while work is
-  // pending elsewhere, so no steals — skew is exercised separately below.
-  EXPECT_EQ(four.steals, 0);
 }
 
 TEST(FleetSim, WorkStealingRecoversUtilizationUnderSkewedRouting) {
-  // Same fleet and load as the scaling test, but every request id is
-  // multiplied by the worker count, so id % workers routes 100% of the
-  // traffic to shard 0. Without stealing, three of four workers would
-  // idle and throughput would collapse to one worker's; with it, dry
-  // workers pull the EDF-earliest work over and aggregate throughput
-  // stays at the balanced fleet's level.
+  // Same fleet and rate as the scaling test, but the whole stream belongs
+  // to ONE tenant — rendezvous hashing pins 100% of the traffic to its
+  // home shard, the worst-case routing skew. Without stealing, three of
+  // four workers would idle and throughput would collapse to one worker's;
+  // with it, dry workers pull the EDF-earliest work over and aggregate
+  // throughput stays at the balanced (8-tenant) fleet's level.
   const auto g = small_trunk();
   const auto curve = batch_curve(g);
   serve::FleetConfig fc;
@@ -595,15 +643,19 @@ TEST(FleetSim, WorkStealingRecoversUtilizationUnderSkewedRouting) {
   FleetLoadConfig load;
   load.requests = 30000;
   load.mean_interarrival_ms = curve(8) / 8.0 / 6.0;
-  load.tenants = {{1, 0, 1.0}};
 
   auto run = [&](bool skew) {
-    auto arrivals = serve_sim::generate_fleet_arrivals(load, fc.classes, {});
-    if (skew)
-      for (serve::Request& r : arrivals) r.id *= 4;
+    load.tenants.clear();
+    if (skew) {
+      load.tenants = {{1, 0, 1.0}};
+    } else {
+      for (std::uint32_t tenant = 1; tenant <= 8; ++tenant)
+        load.tenants.push_back({tenant, 0, 1.0});
+    }
     serve::Fleet fleet = make_fleet(g, 4, fc, fc.classes[0].deadline_slack_ms,
                                     /*tight=*/true, /*fallback_scale=*/1.0);
-    return serve_sim::run_fleet_open_loop(fleet, arrivals);
+    return serve_sim::run_fleet_open_loop(
+        fleet, serve_sim::generate_fleet_arrivals(load, fc.classes, {}));
   };
   const FleetReport balanced = run(false);
   const FleetReport skewed = run(true);
@@ -611,6 +663,39 @@ TEST(FleetSim, WorkStealingRecoversUtilizationUnderSkewedRouting) {
   EXPECT_GE(skewed.throughput_rps, 0.8 * balanced.throughput_rps)
       << "skewed=" << skewed.throughput_rps << " balanced=" << balanced.throughput_rps;
   EXPECT_LT(skewed.miss_rate, 0.02);
+}
+
+TEST(FleetSim, RendezvousRemapKeepsThroughputNearBalanced) {
+  // Satellite contract for tenant-aware routing: crash one of four
+  // replicas at attempt 0, so the whole run serves against the remapped
+  // 3-shard assignment. At ~2.5x one worker's rate the surviving three
+  // have headroom, and because HRW moves ONLY the dead shard's tenants
+  // (survivors keep their queues) and stealing levels the coarser 3-way
+  // hash, throughput stays >= 0.9x the healthy balanced fleet's.
+  const auto g = small_trunk();
+  const auto curve = batch_curve(g);
+  serve::FleetConfig fc;
+  fc.classes = {{"standard", 6.0 * curve(1), 6.0 * curve(1), 1.0}};
+  FleetLoadConfig load;
+  load.requests = 30000;
+  load.mean_interarrival_ms = curve(8) / 8.0 / 2.5;  // ~2.5x one worker
+  for (std::uint32_t tenant = 1; tenant <= 8; ++tenant)
+    load.tenants.push_back({tenant, 0, 1.0});
+  const auto arrivals = serve_sim::generate_fleet_arrivals(load, fc.classes, {});
+
+  const hw::FaultModel crash2(hw::parse_fault_spec("crash=2@0,seed=11"));
+  auto run = [&](const hw::FaultModel* faults) {
+    serve::Fleet fleet = make_fleet(g, 4, fc, fc.classes[0].deadline_slack_ms,
+                                    /*tight=*/true, /*fallback_scale=*/1.0, faults);
+    return serve_sim::run_fleet_open_loop(fleet, arrivals);
+  };
+  const FleetReport balanced = run(nullptr);
+  const FleetReport remapped = run(&crash2);
+  EXPECT_GE(remapped.failovers, 1);
+  EXPECT_GE(remapped.throughput_rps, 0.9 * balanced.throughput_rps)
+      << "remapped=" << remapped.throughput_rps << " balanced=" << balanced.throughput_rps;
+  // Everything is explicitly accounted through the failover.
+  EXPECT_EQ(remapped.shed + remapped.served, remapped.submitted);
 }
 
 TEST(FleetSim, AdmissionShedsExplicitlyAndBoundsAdmittedTail) {
