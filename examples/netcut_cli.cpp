@@ -3,7 +3,7 @@
 //
 //   netcut_cli [--deadline MS] [--estimator profiler|analytical]
 //              [--net NAME ...] [--fast] [--cache-dir DIR] [--workers N]
-//              [--kill-worker W@S]
+//              [--kill-worker W@S] [--cascade SPEC]
 //
 // Example:
 //   ./build/examples/netcut_cli --deadline 0.6 --estimator analytical
@@ -14,6 +14,10 @@
 // --kill-worker W@S additionally fail-stops replica W at its S-th dispatch
 // attempt (the crash=W@S fault clause), printing the failover timeline:
 // detection, drain, orphan re-queue onto the survivors.
+// --cascade shallow=I,deep=J,thr=P calibrates the input-adaptive cascade
+// over blockwise cut ordinals I < J: escalate to the deep cut when the
+// shallow head's softmax margin is below P, and print the operating point
+// (escalation rate, accuracy, expected latency) against both static cuts.
 //
 // Exit codes: 0 success, 1 no network meets the deadline, 2 bad arguments,
 // 3 filesystem failure (unreadable/unwritable caches), 4 runtime failure.
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cascade.hpp"
 #include "core/estimator.hpp"
 #include "core/netcut.hpp"
 #include "hw/device.hpp"
@@ -48,6 +53,7 @@ void usage() {
       "usage: netcut_cli [--deadline MS] [--estimator profiler|analytical]\n"
       "                  [--net NAME ...] [--fast] [--cache-dir DIR]\n"
       "                  [--backend scalar|simd] [--workers N] [--kill-worker W@S]\n"
+      "                  [--cascade shallow=I,deep=J,thr=P]\n"
       "nets: ");
   for (auto id : netcut::zoo::all_nets())
     std::printf("%s ", netcut::zoo::net_name(id).c_str());
@@ -91,7 +97,7 @@ int run_fleet_demo(std::size_t workers, const std::string& kill_spec) {
   for (std::size_t w = 0; w < workers; ++w) {
     serve::FleetWorker fw;
     fw.name = "replica" + std::to_string(w);
-    fw.options = {{"trn", nullptr, curve}};
+    fw.options = {{"trn", nullptr, curve, {}}};
     fw.serve.max_batch = 8;
     fw.serve.nominal_deadline_ms = fc.classes[0].deadline_slack_ms;
     fw.serve.seed = util::derive_seed(7070, "cli/fleet/worker/" + std::to_string(w));
@@ -138,6 +144,48 @@ int run_fleet_demo(std::size_t workers, const std::string& kill_spec) {
   return 0;
 }
 
+// Cascade demo behind --cascade: calibrate the (shallow, deep, thr) cascade
+// on each requested net and print its operating point next to the two static
+// cuts it is built from, plus the dominance verdict the golden tests gate on.
+int run_cascade_demo(const netcut::core::CascadeSpec& spec,
+                     const std::vector<netcut::zoo::NetId>& nets,
+                     netcut::core::TrnEvaluator& evaluator, netcut::core::LatencyLab& lab) {
+  using namespace netcut;
+
+  const std::vector<zoo::NetId> targets =
+      nets.empty() ? std::vector<zoo::NetId>{zoo::NetId::kMobileNetV1_025} : nets;
+  core::CascadeExplorer explorer(evaluator, lab);
+  std::printf("cascade: shallow ordinal %d, deep ordinal %d, escalate below margin %.3g\n\n",
+              spec.shallow, spec.deep, spec.threshold);
+  for (zoo::NetId net : targets) {
+    const std::vector<int>& blocks = lab.blockwise(net);
+    if (spec.deep >= static_cast<int>(blocks.size()))
+      throw std::invalid_argument("--cascade: deep ordinal " + std::to_string(spec.deep) +
+                                  " out of range for " + zoo::net_name(net) + " (has " +
+                                  std::to_string(blocks.size()) + " blockwise cuts)");
+    const int shallow_cut = blocks[static_cast<std::size_t>(spec.shallow)];
+    const int deep_cut = blocks[static_cast<std::size_t>(spec.deep)];
+    const std::vector<core::TradeoffPoint> singles =
+        explorer.single_cut_points(net, {shallow_cut, deep_cut});
+    const core::CascadeOperatingPoint point =
+        explorer.operating_point(net, shallow_cut, deep_cut, spec.threshold);
+
+    util::Table table({"operating point", "latency_ms", "accuracy", "p_escalate"});
+    table.add_row({singles[0].name, util::Table::num(singles[0].latency_ms, 4),
+                   util::Table::num(singles[0].accuracy, 4), "-"});
+    table.add_row({singles[1].name, util::Table::num(singles[1].latency_ms, 4),
+                   util::Table::num(singles[1].accuracy, 4), "-"});
+    table.add_row({point.name, util::Table::num(point.latency_ms, 4),
+                   util::Table::num(point.accuracy, 4),
+                   util::Table::num(point.p_escalate, 3)});
+    std::printf("%s\n%s", zoo::net_name(net).c_str(), table.to_string().c_str());
+    const bool improves = core::cascade_improves({point}, core::pareto_frontier(singles));
+    std::printf("cascade %s the static-cut front\n\n",
+                improves ? "dominates a point of" : "does not dominate");
+  }
+  return 0;
+}
+
 int run_cli(int argc, char** argv) {
   using namespace netcut;
 
@@ -148,6 +196,7 @@ int run_cli(int argc, char** argv) {
   std::string cache_dir;
   std::size_t workers = 0;      // 0 = no fleet demo
   std::string kill_worker;      // "W@S" crash spec for the fleet demo
+  core::CascadeSpec cascade;    // disabled unless --cascade parses enabled
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -186,6 +235,16 @@ int run_cli(int argc, char** argv) {
                      "netcut_cli: --kill-worker needs W@S (replica index @ dispatch "
                      "attempt), got '%s'\n",
                      kill_worker.c_str());
+        return kExitBadArgs;
+      }
+    } else if (arg == "--cascade" && i + 1 < argc) {
+      // Validate eagerly, like --kill-worker: the spec grammar lives in one
+      // place (core::parse_cascade_spec) and a malformed spec must fail
+      // before the expensive evaluator pipeline spins up.
+      try {
+        cascade = core::parse_cascade_spec(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "netcut_cli: %s\n", e.what());
         return kExitBadArgs;
       }
     } else if (arg == "--net" && i + 1 < argc) {
@@ -241,6 +300,8 @@ int run_cli(int argc, char** argv) {
     eval_cfg.pretrained.epochs = 8;
   }
   core::TrnEvaluator evaluator(dataset, eval_cfg);
+
+  if (cascade.enabled) return run_cascade_demo(cascade, nets, evaluator, lab);
 
   std::unique_ptr<core::LatencyEstimator> estimator;
   core::AnalyticalEstimator analytical(lab);

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cascade.hpp"
 #include "core/trn.hpp"
 #include "hw/device.hpp"
 #include "hw/faults.hpp"
@@ -125,8 +126,8 @@ int main() {
   sc.max_batch = 8;
   sc.nominal_deadline_ms = load.deadline_slack_ms;
   sc.watchdog.window = 16;
-  serve::BatchServer server({{"preferred", &preferred, batch_curve(preferred_graph)},
-                             {"fallback", &fallback, batch_curve(fallback_graph)}},
+  serve::BatchServer server({{"preferred", &preferred, batch_curve(preferred_graph), {}},
+                             {"fallback", &fallback, batch_curve(fallback_graph), {}}},
                             queue, sc);
   const serve_sim::SimReport rep = serve_sim::run_open_loop(server, queue, arrivals);
 
@@ -144,6 +145,92 @@ int main() {
     std::printf("  watchdog: never intervened\n");
   std::printf("  final option: %zu (%s)\n", server.current_option(),
               server.current_option() == 0 ? "preferred" : "fallback");
+
+  // -------------------------------------------------------------------------
+  // Cascade serving: one compute option running the input-adaptive cascade.
+  // Every request pays the early-cut stage; only low-margin requests
+  // escalate to the late cut, resuming from the shared trunk activation.
+  // Batch formation budgets the expected escalation mass (p_escalate), so
+  // admission stays honest about the second stage it may have to pay. The
+  // load is deadline-feasible (batches stay small); the same arrivals run
+  // through an all-deep static server for the head-to-head.
+  // -------------------------------------------------------------------------
+  core::CascadeTrn cascade(trunk, early_cut, late_cut, core::HeadConfig{}, rng);
+  auto shared_device = std::make_shared<const hw::DeviceModel>();
+  const int resume = cascade.resume_node();
+  auto stage2_cache = std::make_shared<std::map<int, double>>();
+  const auto stage2_curve = [graph = preferred_graph, shared_device, resume,
+                             stage2_cache](int k) {
+    if (auto it = stage2_cache->find(k); it != stage2_cache->end()) return it->second;
+    const double v = shared_device->network_latency_from_ms(*graph, hw::Precision::kInt8,
+                                                            true, resume, k);
+    return stage2_cache->emplace(k, v).first->second;
+  };
+
+  // Calibrate on the request pool itself — the demo-scale stand-in for the
+  // explorer's held-out calibration split. The threshold is the pool's
+  // lower-quartile stage-1 margin, so roughly a quarter of the requests pay
+  // for the deep stage and the rest exit early.
+  std::vector<double> margins;
+  for (const tensor::Tensor& img : pool) margins.push_back(cascade.stage1(img).margin);
+  std::sort(margins.begin(), margins.end());
+  const double threshold = margins[margins.size() / 4];
+  int pool_wishes = 0;
+  for (const double m : margins)
+    if (m < threshold) ++pool_wishes;
+  const double p_escalate =
+      static_cast<double>(pool_wishes) / static_cast<double>(pool.size());
+
+  serve_sim::LoadConfig cascade_load;
+  cascade_load.requests = 240;
+  cascade_load.mean_interarrival_ms = 1.2 * pref_curve(1);  // feasible even all-deep
+  cascade_load.deadline_slack_ms = 3.0 * pref_curve(1);
+  const std::vector<serve::Request> cascade_arrivals =
+      serve_sim::generate_arrivals(cascade_load, pool);
+
+  serve::ServeConfig csc = sc;
+  csc.nominal_deadline_ms = cascade_load.deadline_slack_ms;
+  serve::ServeCascade sco;
+  sco.enabled = true;
+  sco.trn = &cascade;
+  sco.threshold = threshold;
+  sco.p_escalate = p_escalate;
+  sco.stage2_ms = stage2_curve;
+  serve::RequestQueue cascade_queue;
+  serve::BatchServer cascade_server(
+      {{"cascade", nullptr, batch_curve(fallback_graph), sco}}, cascade_queue, csc);
+  const serve_sim::SimReport crep =
+      serve_sim::run_open_loop(cascade_server, cascade_queue, cascade_arrivals);
+
+  nn::Network deep_static(*preferred_graph);
+  serve::RequestQueue deep_queue;
+  serve::BatchServer deep_server(
+      {{"all-deep", &deep_static, batch_curve(preferred_graph), {}}}, deep_queue, csc);
+  const serve_sim::SimReport drep =
+      serve_sim::run_open_loop(deep_server, deep_queue, cascade_arrivals);
+
+  const auto mean_response = [](const serve_sim::SimReport& r) {
+    double sum = 0.0;
+    for (const serve::Completion& c : r.completions) sum += c.finish_ms - c.arrival_ms;
+    return sum / static_cast<double>(r.completions.size());
+  };
+  std::printf("\ncascade serving (%s stage 1, escalate below margin %.2f, "
+              "calibrated p %.2f):\n",
+              core::trn_name("MobileNetV2-1.00", trunk, early_cut).c_str(), threshold,
+              p_escalate);
+  std::printf("  stage 2 resumes at node %d (%.4f ms b1, vs %.4f ms for the deep TRN "
+              "from scratch)\n",
+              resume, stage2_curve(1), pref_curve(1));
+  std::printf("  cascade:  mean %.3f ms, p50 %.3f ms, p99 %.3f ms, miss %.1f%%, "
+              "escalated %lld of %zu\n",
+              mean_response(crep), crep.p50_response_ms, crep.p99_response_ms,
+              100.0 * crep.miss_rate,
+              static_cast<long long>(cascade_server.stats().escalated),
+              crep.completions.size());
+  std::printf("  all-deep: mean %.3f ms, p50 %.3f ms, p99 %.3f ms, miss %.1f%% "
+              "(same arrivals)\n",
+              mean_response(drep), drep.p50_response_ms, drep.p99_response_ms,
+              100.0 * drep.miss_rate);
 
   // -------------------------------------------------------------------------
   // Heterogeneous fleet: three replicas of the same Pareto front on devices
@@ -174,8 +261,8 @@ int main() {
     fleet_nets.push_back(std::make_unique<nn::Network>(*fallback_graph));
     serve::FleetWorker fw;
     fw.name = replicas[w].name;
-    fw.options = {{"preferred", fleet_nets[2 * w].get(), pref},
-                  {"fallback", fleet_nets[2 * w + 1].get(), fall}};
+    fw.options = {{"preferred", fleet_nets[2 * w].get(), pref, {}},
+                  {"fallback", fleet_nets[2 * w + 1].get(), fall, {}}};
     fw.serve.max_batch = 8;
     fw.serve.nominal_deadline_ms = 4.0 * pref_curve(1);
     fw.serve.seed = util::derive_seed(7070, "demo/fleet/worker/" + std::to_string(w));
@@ -249,8 +336,8 @@ int main() {
     fw.name = "replica" + std::to_string(w);
     // Timing-only options: the failover act is about the control plane, so
     // it skips the batch forwards and runs purely on the latency curves.
-    fw.options = {{"preferred", nullptr, batch_curve(preferred_graph)},
-                  {"fallback", nullptr, batch_curve(fallback_graph)}};
+    fw.options = {{"preferred", nullptr, batch_curve(preferred_graph), {}},
+                  {"fallback", nullptr, batch_curve(fallback_graph), {}}};
     fw.serve.max_batch = 8;
     fw.serve.nominal_deadline_ms = 8.0 * pref_curve(1);
     fw.serve.seed = util::derive_seed(7070, "demo/failover/worker/" + std::to_string(w));

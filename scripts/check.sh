@@ -47,6 +47,10 @@
 #    has no clang-tidy; any finding exits nonzero)
 # 12. clang -Wthread-safety over the annotated concurrency surface
 #    (scripts/threadsafety.sh; skips cleanly when the host has no clang++)
+# 13. cascade (ctest -L cascade): the input-adaptive two-stage suite, clean
+#    and under the chaos schedule; with NETCUT_COVERAGE=1 also runs
+#    scripts/coverage.sh — a gcov-instrumented build (build-cov/) that fails
+#    if line coverage of src/core/cascade.cpp drops below 80%
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -78,18 +82,18 @@ label_summary() {
   done < <(ctest --test-dir build --print-labels | sed -n 's/^  //p')
 }
 
-echo "==> [1/12] configure + build (build/, -Werror)"
+echo "==> [1/13] configure + build (build/, -Werror)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "==> [2/12] ctest (full tier-1 suite)"
+echo "==> [2/13] ctest (full tier-1 suite)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [3/12] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
+echo "==> [3/13] ctest under fault injection (NETCUT_FAULTS chaos schedule)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [4/12] serving layer (ctest -L serve, clean + chaos + failover chaos)"
+echo "==> [4/13] serving layer (ctest -L serve, clean + chaos + failover chaos)"
 ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
@@ -97,20 +101,20 @@ NETCUT_FAULTS="$NETCUT_FAILOVER_SCHEDULE" \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 label_summary
 
-echo "==> [5/12] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
+echo "==> [5/13] kernel backends (ctest -L kernels|layers|quant, scalar + simd)"
 NETCUT_BACKEND=scalar \
   ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
 NETCUT_BACKEND=simd \
   ctest --test-dir build -L 'kernels|layers|quant' --output-on-failure -j "$(nproc)"
 
-echo "==> [6/12] ASan: thread pool + memory planner + verifier + kernel backends"
+echo "==> [6/13] ASan: thread pool + memory planner + verifier + kernel backends"
 cmake -B build-asan -S . -DNETCUT_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$(nproc)" \
   --target test_util_threadpool test_nn_memplan test_nn_verify test_tensor_backends
 ctest --test-dir build-asan -R 'ThreadPool|ThreadDeterminism|MemPlan|NnVerify|Backends' \
   --output-on-failure -j "$(nproc)"
 
-echo "==> [7/12] model checker (ctest -L sched, clean + chaos + lockcheck)"
+echo "==> [7/13] model checker (ctest -L sched, clean + chaos + lockcheck)"
 ctest --test-dir build -L sched --output-on-failure -j "$(nproc)"
 NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
   ctest --test-dir build -L sched --output-on-failure -j "$(nproc)"
@@ -119,11 +123,11 @@ NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
 NETCUT_LOCKCHECK=1 \
   ctest --test-dir build -L serve --output-on-failure -j "$(nproc)"
 
-echo "==> [8/12] negative tests (seeded bugs must be caught)"
+echo "==> [8/13] negative tests (seeded bugs must be caught)"
 ./tests/negative/sched_catches_lost_wakeup.sh build/tests/test_sched
 ./tests/negative/tsan_catches_race.sh
 
-echo "==> [9/12] TSan: serve + sched (ctest -L serve|sched, clean + chaos + failover)"
+echo "==> [9/13] TSan: serve + sched (ctest -L serve|sched, clean + chaos + failover)"
 cmake -B build-tsan -S . -DNETCUT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target test_serve test_sched test_serve_failover
 ctest --test-dir build-tsan -L 'serve|sched' --output-on-failure -j "$(nproc)"
@@ -135,15 +139,27 @@ NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
 NETCUT_FAULTS="$NETCUT_FAILOVER_SCHEDULE" NETCUT_LOCKCHECK=1 \
   ctest --test-dir build-tsan -L serve --output-on-failure -j "$(nproc)"
 
-echo "==> [10/12] UBSan: full tier-1 suite"
+echo "==> [10/13] UBSan: full tier-1 suite"
 cmake -B build-ubsan -S . -DNETCUT_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 
-echo "==> [11/12] clang-tidy"
+echo "==> [11/13] clang-tidy"
 ./scripts/tidy.sh
 
-echo "==> [12/12] clang thread-safety analysis"
+echo "==> [12/13] clang thread-safety analysis"
 ./scripts/threadsafety.sh
+
+echo "==> [13/13] cascade (ctest -L cascade, clean + chaos; coverage behind NETCUT_COVERAGE=1)"
+ctest --test-dir build -L cascade --output-on-failure -j "$(nproc)"
+NETCUT_FAULTS="$NETCUT_CHAOS_SCHEDULE" \
+  ctest --test-dir build -L cascade --output-on-failure -j "$(nproc)"
+# Line-coverage gate for the cascade module (gcov build in build-cov/) — the
+# expensive instrumented rebuild only runs when explicitly requested.
+if [ "${NETCUT_COVERAGE:-0}" = "1" ]; then
+  ./scripts/coverage.sh
+else
+  echo "    coverage gate skipped (set NETCUT_COVERAGE=1 to run scripts/coverage.sh)"
+fi
 
 echo "==> check passed"

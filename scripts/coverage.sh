@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the cascade module (src/core/cascade.cpp).
+#
+#   ./scripts/coverage.sh
+#
+# Builds a gcov-instrumented tree in build-cov/ (NETCUT_COVERAGE=ON, -O0 for
+# honest line attribution), runs the cascade-labelled suite, then asks gcov
+# how many lines of src/core/cascade.cpp actually executed. Fails if line
+# coverage is below the floor. Skips cleanly when the host has no gcov.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FLOOR=80
+
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "coverage: no gcov on this host; skipping"
+  exit 0
+fi
+
+cmake -B build-cov -S . -DNETCUT_COVERAGE=ON >/dev/null
+cmake --build build-cov -j "$(nproc)" --target test_cascade
+
+# Fresh counters: stale .gcda from an earlier run would inflate the numbers.
+find build-cov -name '*.gcda' -delete
+
+# The golden front test is a *numeric* regression gate: its values were
+# regenerated under the optimized build, and -Og arithmetic (no FMA
+# contraction, different reduction order) legitimately lands elsewhere at
+# fixture scale. It runs in the optimized tree (tier-1 + check.sh step 13);
+# here we only need line execution, which the unit suite provides.
+ctest --test-dir build-cov -L cascade -E GoldenFrontDominates \
+  --output-on-failure -j "$(nproc)"
+
+objdir="build-cov/src/core/CMakeFiles/netcut_core.dir"
+if [ ! -f "$objdir/cascade.cpp.gcda" ]; then
+  echo "coverage: no execution counters for src/core/cascade.cpp" >&2
+  echo "coverage: (did the cascade-labelled tests run in build-cov/?)" >&2
+  exit 1
+fi
+
+# gcov emits one "File '...'" block per source that contributed lines to the
+# object; take the percentage from the cascade.cpp block, not a header's.
+pct=$(cd "$objdir" && gcov -n cascade.cpp.gcda 2>/dev/null | awk '
+  /^File .*src\/core\/cascade\.cpp.$/ { grab = 1; next }
+  grab && /Lines executed:/ {
+    sub(/^Lines executed:/, ""); sub(/%.*/, ""); print; exit
+  }')
+
+if [ -z "$pct" ]; then
+  echo "coverage: could not parse gcov output for src/core/cascade.cpp" >&2
+  exit 1
+fi
+
+echo "coverage: src/core/cascade.cpp lines executed: ${pct}% (floor ${FLOOR}%)"
+if awk -v p="$pct" -v f="$FLOOR" 'BEGIN { exit !(p < f) }'; then
+  echo "coverage: below the ${FLOOR}% floor" >&2
+  exit 1
+fi
+echo "coverage: ok"

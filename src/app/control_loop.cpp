@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/cascade.hpp"
 #include "ml/metrics.hpp"
 
 namespace netcut::app {
@@ -11,7 +12,7 @@ namespace netcut::app {
 ControlLoop::ControlLoop(const VisualClassifier& vision, const EmgClassifier& emg,
                          const data::EmgGenerator& emg_gen, double visual_latency_ms,
                          ControlLoopConfig config)
-    : ControlLoop({{"", visual_latency_ms, &vision}}, emg, emg_gen, config) {}
+    : ControlLoop({{"", visual_latency_ms, &vision, {}}}, emg, emg_gen, config) {}
 
 ControlLoop::ControlLoop(std::vector<TrnOption> options, const EmgClassifier& emg,
                          const data::EmgGenerator& emg_gen, ControlLoopConfig config,
@@ -23,11 +24,38 @@ ControlLoop::ControlLoop(std::vector<TrnOption> options, const EmgClassifier& em
       watchdog_(watchdog),
       faults_(faults) {
   if (options_.empty()) throw std::invalid_argument("ControlLoop: no TRN options");
-  for (const TrnOption& o : options_) {
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    const TrnOption& o = options_[i];
     if (o.latency_ms <= 0) throw std::invalid_argument("ControlLoop: bad latency");
     if (o.vision == nullptr) throw std::invalid_argument("ControlLoop: null classifier");
+    if (o.cascade.enabled) {
+      if (o.cascade.escalate_vision == nullptr)
+        throw std::invalid_argument("ControlLoop: cascade needs an escalation classifier");
+      if (o.cascade.escalate_delta_ms <= 0)
+        throw std::invalid_argument("ControlLoop: bad escalation delta");
+      if (o.cascade.thresholds.empty())
+        throw std::invalid_argument("ControlLoop: cascade needs thresholds");
+      for (std::size_t j = 0; j < o.cascade.thresholds.size(); ++j) {
+        if (o.cascade.thresholds[j] < 0)
+          throw std::invalid_argument("ControlLoop: negative cascade threshold");
+        if (j > 0 && o.cascade.thresholds[j] >= o.cascade.thresholds[j - 1])
+          throw std::invalid_argument(
+              "ControlLoop: cascade thresholds must be strictly decreasing");
+      }
+      for (std::size_t j = 0; j < o.cascade.thresholds.size(); ++j) ladder_.push_back({i, j});
+    } else {
+      ladder_.push_back({i, 0});
+    }
   }
   if (watchdog_.window <= 0) throw std::invalid_argument("ControlLoop: bad watchdog window");
+}
+
+double ControlLoop::rung_nominal_ms(std::size_t r) const {
+  const auto& [opt, thr] = ladder_[r];
+  const TrnOption& o = options_[opt];
+  if (o.cascade.enabled && o.cascade.thresholds[thr] > 0)
+    return o.latency_ms + o.cascade.escalate_delta_ms;
+  return o.latency_ms;
 }
 
 ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
@@ -47,8 +75,9 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
   if (fault_model.active()) fault_stream = fault_model.stream("control-loop");
 
   // Watchdog policy; persists across episodes (the device does not cool
-  // down because a reach ended).
-  MissRateWatchdog watchdog(watchdog_, options_.size());
+  // down because a reach ended). It walks the expanded fallback ladder:
+  // threshold rungs within an option first, then the next TRN.
+  MissRateWatchdog watchdog(watchdog_, ladder_.size());
   const bool adaptive = watchdog.adaptive();
   int global_frame = 0;
   // Observed device slowdown: EWMA of (frame latency / nominal latency).
@@ -79,22 +108,49 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
           *pool[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
       ++total_frames;
 
+      const std::size_t cur = watchdog.current();
+      const std::size_t opt_i = ladder_[cur].first;
+      const TrnOption& opt = options_[opt_i];
+
+      // Cascade rung: stage-1 prediction first, escalate when the margin is
+      // below the rung's threshold AND the nominal (pre-jitter) two-stage
+      // time still fits the frame deadline — the serving layer's slack rule.
+      tensor::Tensor stage1;
+      bool escalated = false;
+      if (opt.cascade.enabled) {
+        stage1 = opt.vision->predict(frame.image);
+        escalated = core::softmax_margin(stage1) < opt.cascade.thresholds[ladder_[cur].second] &&
+                    opt.latency_ms + opt.cascade.escalate_delta_ms <=
+                        config_.classifier_deadline_ms;
+      }
+
       // Per-frame latency jitter around the measured device latency, scaled
       // by whatever the fault schedule is doing to the device right now. A
-      // failed run means the frame produced no usable inference at all.
-      const std::size_t cur = watchdog.current();
-      double latency = options_[cur].latency_ms * rng.lognormal(0.0, 0.015);
+      // failed run means the frame produced no usable inference at all. An
+      // escalation charges its delta under the *same* realized jitter and
+      // fault multiplier — no extra RNG draws, so the frame stream stays
+      // aligned with cascade-free configurations.
+      const double jitter = rng.lognormal(0.0, 0.015);
+      double latency = opt.latency_ms * jitter;
       hw::RunFault fault;
       if (fault_stream.active()) fault = fault_stream.next(global_frame);
       latency *= fault.multiplier;
-      if (!fault.failed)
-        slowdown += kSlowdownAlpha * (latency / options_[cur].latency_ms - slowdown);
+      if (escalated) latency += opt.cascade.escalate_delta_ms * jitter * fault.multiplier;
+      const double nominal =
+          opt.latency_ms + (escalated ? opt.cascade.escalate_delta_ms : 0.0);
+      if (!fault.failed) slowdown += kSlowdownAlpha * (latency / nominal - slowdown);
       const bool missed = fault.failed || latency > config_.classifier_deadline_ms;
+      if (escalated) ++report.frames_escalated;
       if (missed) {
         ++er.frames_missed;
         ++total_missed;
       } else {
-        acc.observe(options_[cur].vision->predict(frame.image), config_.vision_weight);
+        if (opt.cascade.enabled)
+          acc.observe(escalated ? opt.cascade.escalate_vision->predict(frame.image)
+                                : stage1,
+                      config_.vision_weight);
+        else
+          acc.observe(opt.vision->predict(frame.image), config_.vision_weight);
         ++er.frames_used;
       }
       if (fell_back) {
@@ -110,10 +166,11 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
 
       if (adaptive) {
         // The watchdog owns the window/hysteresis policy; the loop supplies
-        // the one fact only it knows — whether the next-slower TRN is
-        // predicted to fit the deadline under the observed slowdown.
+        // the one fact only it knows — whether the next-slower rung (a more
+        // permissive threshold, or the next TRN up) is predicted to fit the
+        // deadline under the observed slowdown.
         const bool slower_fits =
-            cur > 0 && options_[cur - 1].latency_ms * slowdown <=
+            cur > 0 && rung_nominal_ms(cur - 1) * slowdown <=
                            watchdog_.recover_headroom * config_.classifier_deadline_ms;
         const MissRateWatchdog::Decision dec = watchdog.observe(missed, slower_fits);
         if (dec.action == MissRateWatchdog::Action::kFallBack) {
@@ -148,7 +205,8 @@ ControlLoopReport ControlLoop::run(const data::HandsDataset& dataset) {
   double frames = 0.0;
   for (const EpisodeResult& er : report.episodes) frames += er.frames_used;
   report.mean_frames_used = frames / n;
-  report.final_option = watchdog.current();
+  report.final_rung = watchdog.current();
+  report.final_option = ladder_[report.final_rung].first;
   report.pre_fallback_miss_rate =
       pre_frames > 0 ? static_cast<double>(pre_missed) / pre_frames : 0.0;
   report.post_fallback_miss_rate =

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "app/classifier.hpp"
@@ -38,23 +39,46 @@ struct ControlLoopConfig {
   std::uint64_t seed = 2025;
 };
 
+/// Confidence-gated escalation attached to a TrnOption: frames whose
+/// stage-1 softmax margin falls below the active threshold re-run through
+/// the deeper classifier, paying `escalate_delta_ms` extra. The thresholds
+/// vector is a fallback ladder of its own — strictly decreasing, so each
+/// step escalates fewer frames and costs less.
+struct TrnCascade {
+  bool enabled = false;
+  /// Deep-stage classifier answering escalated frames.
+  const VisualClassifier* escalate_vision = nullptr;
+  /// Nominal extra latency of an escalation (the delta layers + deep head).
+  double escalate_delta_ms = 0.0;
+  /// Strictly decreasing escalation thresholds, most permissive first.
+  std::vector<double> thresholds;
+};
+
 /// One deployable TRN on the latency/accuracy Pareto front. Options are
 /// ordered from the preferred (most accurate, slowest) network to the
 /// fastest fallback; the watchdog only ever moves one step at a time.
+///
+/// With a cascade, the option expands into one fallback rung per threshold:
+/// the watchdog tightens the escalation threshold (cheaper, less accurate)
+/// step by step *before* abandoning the option for the next TRN — the
+/// threshold is a third fallback axis between networks.
 struct TrnOption {
   std::string name;                          // paper-style "ResNet50/113"
   double latency_ms = 0.0;                   // measured device latency
   const VisualClassifier* vision = nullptr;
+  TrnCascade cascade;
 };
 
 // WatchdogConfig (shared with the serving layer) lives in app/watchdog.hpp.
 
-/// One watchdog decision, for reporting.
+/// One watchdog decision, for reporting. `from`/`to` index the fallback
+/// ladder (see ControlLoop::fallback_ladder) — identical to option indices
+/// when no option carries a cascade.
 struct SwitchEvent {
   int episode = 0;
   double time_ms = 0.0;             // reach time within the episode
   std::size_t from = 0;
-  std::size_t to = 0;               // option indices
+  std::size_t to = 0;               // fallback-ladder rung indices
   double window_miss_rate = 0.0;    // what triggered the move
 };
 
@@ -75,7 +99,9 @@ struct ControlLoopReport {
   double mean_frames_used = 0.0;
   // Watchdog telemetry (empty / zero when it never intervened).
   std::vector<SwitchEvent> switches;
-  std::size_t final_option = 0;
+  std::size_t final_option = 0;  // TRN option index (rung mapped back)
+  std::size_t final_rung = 0;    // fallback-ladder rung index
+  int frames_escalated = 0;      // frames the cascade sent to the deep stage
   double pre_fallback_miss_rate = 0.0;   // miss rate up to the first switch
   double post_fallback_miss_rate = 0.0;  // miss rate after the first switch
 };
@@ -98,8 +124,20 @@ class ControlLoop {
 
   ControlLoopReport run(const data::HandsDataset& dataset);
 
+  /// The expanded fallback ladder the watchdog walks: one (option index,
+  /// threshold index) rung per cascade threshold, a single rung for
+  /// cascade-free options. Identity when no option has a cascade.
+  const std::vector<std::pair<std::size_t, std::size_t>>& fallback_ladder() const {
+    return ladder_;
+  }
+
  private:
+  /// Nominal per-frame latency of rung `r` (worst case for cascade rungs
+  /// that can still escalate: stage 1 plus the full escalation delta).
+  double rung_nominal_ms(std::size_t r) const;
+
   std::vector<TrnOption> options_;
+  std::vector<std::pair<std::size_t, std::size_t>> ladder_;
   const EmgClassifier& emg_;
   const data::EmgGenerator& emg_gen_;
   ControlLoopConfig config_;

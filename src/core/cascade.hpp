@@ -1,0 +1,178 @@
+// Input-adaptive TRN cascade — confidence-gated early exit (ROADMAP item 3).
+//
+// A cascade runs the cheap TRN (shallow cut + transfer head) on every input
+// and escalates to a deeper TRN only when the shallow head's softmax margin
+// (top-1 minus top-2 probability) falls below a calibrated threshold:
+//
+//     margin >= thr  ->  exit with the shallow prediction   (easy input)
+//     margin <  thr  ->  run the deep TRN and use its output (hard input)
+//
+// Both TRNs are cut from ONE pretrained trunk, so they share every weight up
+// to the shallow cut. Escalation therefore resumes the deep TRN from the
+// shallow stage's trunk activation (nn::Network::forward_from) and pays only
+// the delta layers plus the deep head — never the shared prefix twice. Cut
+// sites are output dominators forming a chain, and Graph::prefix remaps the
+// shallow cut's ancestors identically in both TRN graphs, so the shared
+// prefix node has the same id in both: the last trunk node of the shallow
+// TRN. That makes escalate-all bitwise identical to running the deep TRN
+// from scratch.
+//
+// Calibration (CascadeExplorer) estimates p(escalate | thr) on a held-out
+// calibration half of the test split and scores cascade accuracy on the
+// other half, then sweeps (threshold x cut pair) into operating points whose
+// expected latency is  lat(shallow) + p_escalate * lat(stage 2). The
+// combined front of single-cut and cascade points is what serving and the
+// control loop pick operating points from.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/lab.hpp"
+#include "core/pareto.hpp"
+#include "core/trn.hpp"
+#include "nn/network.hpp"
+
+namespace netcut::core {
+
+/// Parsed form of a cascade spec string (netcut_cli --cascade).
+///
+/// Grammar — comma-separated clauses, mirroring NETCUT_FAULTS:
+///   "off"              the disabled cascade (also the empty string)
+///   shallow=<ordinal>  blockwise cut ordinal of the first stage (>= 0)
+///   deep=<ordinal>     blockwise cut ordinal of the second stage (> shallow)
+///   thr=<p>            escalate when softmax margin < p, p in [0, 1]
+/// An enabled spec requires all three clauses; anything else (unknown keys,
+/// bad numbers, shallow >= deep) throws std::invalid_argument. Round-trip
+/// contract: parse_cascade_spec(format_cascade_spec(s)) == s.
+struct CascadeSpec {
+  bool enabled = false;
+  int shallow = 0;
+  int deep = 0;
+  double threshold = 0.0;
+
+  bool operator==(const CascadeSpec&) const = default;
+};
+
+CascadeSpec parse_cascade_spec(std::string_view spec);
+std::string format_cascade_spec(const CascadeSpec& spec);
+
+/// Top-1 minus top-2 probability of a softmax output — the cascade's
+/// confidence signal. In [0, 1]; higher means more confident.
+double softmax_margin(const tensor::Tensor& probs);
+
+/// Two TRNs cut from one trunk, sharing the prefix up to the shallow cut.
+/// The two-phase API (stage1 / escalate) lets callers apply their own gate
+/// between the stages — the serving layer also checks deadline slack before
+/// paying for stage 2.
+class CascadeTrn {
+ public:
+  /// Builds both TRNs from `trunk` (shallow head first, then deep head, so
+  /// construction is deterministic in `rng`). Throws std::invalid_argument
+  /// unless shallow_cut < deep_cut and both are legal cut sites.
+  CascadeTrn(const nn::Graph& trunk, int shallow_cut, int deep_cut, const HeadConfig& head,
+             util::Rng& rng);
+
+  int shallow_cut() const { return shallow_cut_; }
+  int deep_cut() const { return deep_cut_; }
+  /// Shared-prefix node id (identical in both TRN graphs): the last trunk
+  /// node of the shallow TRN, where escalation resumes the deep TRN.
+  int resume_node() const { return resume_node_; }
+
+  nn::Network& shallow() { return shallow_; }
+  nn::Network& deep() { return deep_; }
+
+  /// First-stage result: the shallow prediction, its confidence, and the
+  /// shared trunk activation escalation resumes from.
+  struct Stage1 {
+    tensor::Tensor output;     // shallow softmax probabilities
+    tensor::Tensor trunk_act;  // activation at resume_node()
+    double margin = 0.0;       // softmax_margin(output)
+  };
+
+  Stage1 stage1(const tensor::Tensor& input);
+  /// One Stage1 per input; bitwise identical to inputs.size() stage1 calls.
+  std::vector<Stage1> stage1_batch(const std::vector<const tensor::Tensor*>& inputs);
+
+  /// Second stage: the deep TRN resumed from the shared trunk activation.
+  /// Bitwise identical to deep().forward(input) for the input that produced
+  /// `s` — stage 2 pays only the delta layers plus the deep head.
+  tensor::Tensor escalate(const Stage1& s);
+  /// Planned batched escalation (disjoint arena lanes); bitwise identical
+  /// to stages.size() single escalate calls.
+  std::vector<tensor::Tensor> escalate_batch(const std::vector<const Stage1*>& stages);
+
+  /// The full decision rule: stage 1, then escalate iff margin < threshold.
+  struct Result {
+    tensor::Tensor output;
+    double margin = 0.0;  // stage-1 confidence (the gating signal)
+    bool escalated = false;
+  };
+  Result classify(const tensor::Tensor& input, double threshold);
+
+ private:
+  int shallow_cut_;
+  int deep_cut_;
+  int resume_node_;
+  nn::Network shallow_;
+  nn::Network deep_;
+};
+
+/// One calibrated cascade operating point of the (threshold x cut pair)
+/// sweep.
+struct CascadeOperatingPoint {
+  std::string name;        // "<shallow trn>+<deep layers>@<thr>"
+  int shallow_cut = 0;
+  int deep_cut = 0;
+  double threshold = 0.0;
+  double p_escalate = 0.0;  // escalation rate on the calibration half
+  double accuracy = 0.0;    // cascade angular similarity on the eval half
+  double latency_ms = 0.0;  // measured shallow + p_escalate * measured stage 2
+
+  TradeoffPoint as_tradeoff() const { return {name, latency_ms, accuracy}; }
+};
+
+/// Sweeps (confidence threshold x cut pair) against the evaluator's
+/// accuracy cache and the lab's measurements. The test split is divided
+/// deterministically: even indices calibrate p(escalate) and the escalation
+/// thresholds, odd indices score accuracy — thresholds are never tuned on
+/// the images that grade them.
+class CascadeExplorer {
+ public:
+  CascadeExplorer(TrnEvaluator& evaluator, LatencyLab& lab);
+
+  /// Escalation rate of `threshold` for the shallow cut's retrained head on
+  /// the calibration half. Non-decreasing in `threshold` by construction
+  /// (the gate escalates exactly the images with margin < threshold).
+  double escalation_rate(zoo::NetId base, int shallow_cut, double threshold);
+
+  /// One calibrated operating point for a (shallow, deep, threshold) triple.
+  CascadeOperatingPoint operating_point(zoo::NetId base, int shallow_cut, int deep_cut,
+                                        double threshold);
+
+  /// All (shallow < deep) pairs from `cuts` crossed with `thresholds`.
+  std::vector<CascadeOperatingPoint> sweep(zoo::NetId base, const std::vector<int>& cuts,
+                                           const std::vector<double>& thresholds);
+
+  /// Single-cut baseline points over `cuts`, accuracy scored on the same
+  /// eval half the cascade points use (so dominance compares like with
+  /// like).
+  std::vector<TradeoffPoint> single_cut_points(zoo::NetId base, const std::vector<int>& cuts);
+
+  /// The default threshold grid for sweeps.
+  static std::vector<double> default_thresholds();
+
+ private:
+  TrnEvaluator& evaluator_;
+  LatencyLab& lab_;
+};
+
+/// True when some cascade operating point dominates (core::dominates) a
+/// point of the single-cut frontier — i.e. the combined front strictly
+/// improves on every-static-cut-can-offer.
+bool cascade_improves(const std::vector<CascadeOperatingPoint>& cascade_points,
+                      const std::vector<TradeoffPoint>& single_cut_front);
+
+}  // namespace netcut::core

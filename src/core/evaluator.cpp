@@ -264,12 +264,9 @@ AccuracyResult TrnEvaluator::accuracy(zoo::NetId base, int cut_node) {
   return r;
 }
 
-AccuracyResult TrnEvaluator::train_head_on_features(
+std::vector<tensor::Tensor> TrnEvaluator::head_predictions(
     const std::vector<tensor::Tensor>& train_x, const std::vector<tensor::Tensor>& train_y,
-    const std::vector<tensor::Tensor>& test_x, const std::vector<tensor::Tensor>& test_y,
-    std::uint64_t seed) const {
-  if (train_x.empty() || train_x.size() != train_y.size() || test_x.size() != test_y.size())
-    throw std::invalid_argument("train_head_on_features: bad dataset");
+    const std::vector<tensor::Tensor>& test_x, std::uint64_t seed) const {
   const int features = static_cast<int>(train_x[0].numel());
 
   // Standardize features (fit on train) for stable head optimization.
@@ -339,11 +336,73 @@ AccuracyResult TrnEvaluator::train_head_on_features(
   predictions.reserve(test_x.size());
   for (const tensor::Tensor& t : test_x)
     predictions.push_back(nn::softmax(head.forward(standardize(t), false)));
+  return predictions;
+}
+
+AccuracyResult TrnEvaluator::train_head_on_features(
+    const std::vector<tensor::Tensor>& train_x, const std::vector<tensor::Tensor>& train_y,
+    const std::vector<tensor::Tensor>& test_x, const std::vector<tensor::Tensor>& test_y,
+    std::uint64_t seed) const {
+  if (train_x.empty() || train_x.size() != train_y.size() || test_x.size() != test_y.size())
+    throw std::invalid_argument("train_head_on_features: bad dataset");
+  const std::vector<tensor::Tensor> predictions =
+      head_predictions(train_x, train_y, test_x, seed);
 
   AccuracyResult r;
   r.angular_similarity = ml::mean_angular_similarity(predictions, test_y);
   r.top1 = ml::top1_agreement(predictions, test_y);
   return r;
+}
+
+const PerImageEval& TrnEvaluator::per_image(zoo::NetId base, int cut_node) {
+  const auto key = std::make_pair(base, cut_node);
+  {
+    util::MutexLock lock(cache_mutex_);
+    if (auto it = per_image_.find(key); it != per_image_.end()) return it->second;
+  }
+
+  NetState& st = state(base);
+  const auto train_it = st.train_features.find(cut_node);
+  if (train_it == st.train_features.end())
+    throw std::invalid_argument("TrnEvaluator::per_image: node " + std::to_string(cut_node) +
+                                " is not a legal cut site for " + zoo::net_name(base));
+  const auto& train_x = train_it->second;
+  const auto& test_x = st.test_features.at(cut_node);
+
+  std::vector<tensor::Tensor> train_y;
+  train_y.reserve(dataset_.train().size());
+  for (const data::Sample& s : dataset_.train()) train_y.push_back(s.label);
+
+  // Same seed derivation as accuracy(): the retrained head is the same head.
+  const std::uint64_t seed = util::derive_seed(config_.seed, cache_key(base, cut_node));
+  const std::vector<tensor::Tensor> predictions =
+      head_predictions(train_x, train_y, test_x, seed);
+
+  PerImageEval e;
+  e.margin.reserve(predictions.size());
+  e.angular.reserve(predictions.size());
+  e.correct.reserve(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const tensor::Tensor& p = predictions[i];
+    const tensor::Tensor& label = dataset_.test()[i].label;
+    float top1 = 0.0f, top2 = 0.0f;
+    for (int k = 0; k < static_cast<int>(p.numel()); ++k) {
+      if (p[k] > top1) {
+        top2 = top1;
+        top1 = p[k];
+      } else if (p[k] > top2) {
+        top2 = p[k];
+      }
+    }
+    e.margin.push_back(static_cast<double>(top1) - static_cast<double>(top2));
+    e.angular.push_back(ml::angular_similarity(p, label));
+    e.correct.push_back(ml::top1_agreement({p}, {label}) > 0.5 ? 1 : 0);
+  }
+
+  util::MutexLock lock(cache_mutex_);
+  // emplace keeps the first computation if two threads raced; both computed
+  // identical values anyway (same seed, same op order).
+  return per_image_.emplace(key, std::move(e)).first->second;
 }
 
 }  // namespace netcut::core

@@ -48,6 +48,15 @@ struct AccuracyResult {
   double top1 = 0.0;
 };
 
+/// Per-test-image outcome of the retrained head at one cut — the raw
+/// material for cascade calibration. Image order matches the dataset's test
+/// order; all vectors share its length.
+struct PerImageEval {
+  std::vector<double> margin;   // softmax top1 - top2 probability (confidence)
+  std::vector<double> angular;  // angular similarity against the soft label
+  std::vector<char> correct;    // top1 agreement with the label (0/1)
+};
+
 class TrnEvaluator {
  public:
   TrnEvaluator(const data::HandsDataset& dataset, EvalConfig config);
@@ -64,6 +73,13 @@ class TrnEvaluator {
   /// pool workers should prepare first so the expensive extraction happens
   /// at the outer parallelism level exactly once.
   void prepare(zoo::NetId base) { state(base); }
+
+  /// Per-test-image margins / similarities / agreements of the TRN cut at
+  /// `cut_node`. The head is retrained with exactly the op order and seed of
+  /// accuracy(), so aggregate metrics agree with the memoized accuracy.
+  /// Memoized in-memory per (base, cut); the returned reference stays valid
+  /// for the evaluator's lifetime. Thread-safe like accuracy().
+  const PerImageEval& per_image(zoo::NetId base, int cut_node);
 
   /// Cut node id representing "no removal" for this base network.
   int full_cut(zoo::NetId base);
@@ -107,6 +123,12 @@ class TrnEvaluator {
 
   NetState& state(zoo::NetId base);
   std::string cache_key(zoo::NetId base, int cut_node) const;
+  /// Standardize + train the head + softmax-predict the test set — the body
+  /// shared by train_head_on_features and per_image (identical op order).
+  std::vector<tensor::Tensor> head_predictions(const std::vector<tensor::Tensor>& train_x,
+                                               const std::vector<tensor::Tensor>& train_y,
+                                               const std::vector<tensor::Tensor>& test_x,
+                                               std::uint64_t seed) const;
   void load_cache() NETCUT_REQUIRES(cache_mutex_);
   void append_cache(const std::string& key, const AccuracyResult& r)
       NETCUT_REQUIRES(cache_mutex_);
@@ -127,6 +149,8 @@ class TrnEvaluator {
   // cutpoints w/o features
   std::map<zoo::NetId, std::vector<int>> structure_ NETCUT_GUARDED_BY(states_mutex_);
   std::map<std::string, AccuracyResult> cache_ NETCUT_GUARDED_BY(cache_mutex_);
+  // Per-image memo; std::map node stability keeps returned references valid.
+  std::map<std::pair<zoo::NetId, int>, PerImageEval> per_image_ NETCUT_GUARDED_BY(cache_mutex_);
   bool cache_loaded_ NETCUT_GUARDED_BY(cache_mutex_) = false;
   int cache_rows_skipped_ NETCUT_GUARDED_BY(cache_mutex_) = 0;
 };

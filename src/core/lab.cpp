@@ -81,6 +81,45 @@ double LatencyLab::true_batch_ms(zoo::NetId base, int cut_node, int batch) {
   return ms;
 }
 
+int LatencyLab::resume_node(zoo::NetId base, int shallow_cut) {
+  return state(base).trunk->prefix(shallow_cut).node_count() - 1;
+}
+
+double LatencyLab::measured_stage2_ms(zoo::NetId base, int shallow_cut, int deep_cut) {
+  return measured_stage2_batch_ms(base, shallow_cut, deep_cut, 1);
+}
+
+double LatencyLab::true_stage2_ms(zoo::NetId base, int shallow_cut, int deep_cut) {
+  return true_stage2_batch_ms(base, shallow_cut, deep_cut, 1);
+}
+
+double LatencyLab::measured_stage2_batch_ms(zoo::NetId base, int shallow_cut, int deep_cut,
+                                            int batch) {
+  NetState& st = state(base);
+  const auto key = std::make_pair(std::make_pair(shallow_cut, deep_cut), batch);
+  if (auto it = st.measured_stage2.find(key); it != st.measured_stage2.end())
+    return it->second;
+  const nn::Graph trn = build_native_trn(base, deep_cut);
+  const double ms = measurer_
+                        .measure_network_from(trn, config_.precision, config_.fuse,
+                                              resume_node(base, shallow_cut), batch)
+                        .mean_ms;
+  st.measured_stage2[key] = ms;
+  return ms;
+}
+
+double LatencyLab::true_stage2_batch_ms(zoo::NetId base, int shallow_cut, int deep_cut,
+                                        int batch) {
+  NetState& st = state(base);
+  const auto key = std::make_pair(std::make_pair(shallow_cut, deep_cut), batch);
+  if (auto it = st.true_stage2.find(key); it != st.true_stage2.end()) return it->second;
+  const nn::Graph trn = build_native_trn(base, deep_cut);
+  const double ms = device_.network_latency_from_ms(trn, config_.precision, config_.fuse,
+                                                    resume_node(base, shallow_cut), batch);
+  st.true_stage2[key] = ms;
+  return ms;
+}
+
 const hw::LatencyTable& LatencyLab::profile(zoo::NetId base) {
   NetState& st = state(base);
   if (!st.table) {

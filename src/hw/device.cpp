@@ -132,6 +132,16 @@ double DeviceModel::network_latency_ms(const nn::Graph& graph, Precision precisi
   return total;
 }
 
+double DeviceModel::network_latency_from_ms(const nn::Graph& graph, Precision precision,
+                                            bool fuse, int resume, int batch) const {
+  if (resume < 0 || resume >= graph.node_count())
+    throw std::invalid_argument("DeviceModel::network_latency_from_ms: resume out of range");
+  double total = 0.0;
+  for (const KernelCost& kc : kernel_costs(graph, precision, fuse, batch))
+    if (kc.node > resume) total += kc.latency_ms;
+  return total;
+}
+
 double DeviceModel::int8_speedup(const nn::Graph& graph, bool fuse, int batch) const {
   const double fp32 = network_latency_ms(graph, Precision::kFp32, fuse, batch);
   const double int8 = network_latency_ms(graph, Precision::kInt8, fuse, batch);

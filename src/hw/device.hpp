@@ -78,6 +78,16 @@ class DeviceModel {
   double network_latency_ms(const nn::Graph& graph, Precision precision, bool fuse,
                             int batch = 1) const;
 
+  /// True latency of the suffix a prefix-resume pass executes: the sum of
+  /// kernel costs for nodes strictly after `resume` — the second-stage cost
+  /// of a cascade escalation that reuses the shared trunk activation. At a
+  /// legal cut site fusion never reaches across the boundary (cuts land on
+  /// block-end ReLU/Add nodes; a following conv never folds backward into
+  /// them), so the suffix sum composes exactly: full = prefix + suffix.
+  /// resume == 0 reproduces network_latency_ms bit-for-bit.
+  double network_latency_from_ms(const nn::Graph& graph, Precision precision, bool fuse,
+                                 int resume, int batch = 1) const;
+
   /// Predicted end-to-end fp32/int8 latency ratio for the graph — the
   /// model's int8 speedup term. The measured counterpart is the wall-clock
   /// ratio of Network::forward to QuantizedNetwork::forward_int8; the kernel

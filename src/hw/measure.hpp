@@ -57,12 +57,21 @@ class LatencyMeasurer {
   Measurement measure_network(const nn::Graph& graph, Precision precision, bool fuse,
                               int batch = 1);
 
+  /// Same protocol over the suffix a prefix-resume pass executes (nodes
+  /// strictly after `resume`) — the measured second-stage cost of a cascade
+  /// escalation. Consumes one measurement label like any other measurement;
+  /// resume == 0 times the whole network.
+  Measurement measure_network_from(const nn::Graph& graph, Precision precision, bool fuse,
+                                   int resume, int batch = 1);
+
   /// One simulated run at the given global run index (0 = cold start).
   double simulate_run_ms(double true_ms, int run_index, util::Rng& rng) const;
 
   const MeasureConfig& config() const { return config_; }
 
  private:
+  Measurement measure_true_ms(double true_ms);
+
   const DeviceModel& device_;
   MeasureConfig config_;
   std::uint64_t measurement_counter_ = 0;

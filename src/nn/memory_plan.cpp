@@ -58,8 +58,8 @@ std::size_t high_water(const std::vector<Placed>& placed) {
 }  // namespace
 
 MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
-                       const std::vector<int>& collect, bool train, int batch)
-    : shapes_(shapes), collect_(collect), train_(train), batch_(batch) {
+                       const std::vector<int>& collect, bool train, int batch, int resume)
+    : shapes_(shapes), collect_(collect), train_(train), batch_(batch), resume_(resume) {
   const int n = graph.node_count();
   if (static_cast<int>(shapes.size()) != n)
     throw std::invalid_argument("MemoryPlan: shape count does not match graph");
@@ -67,6 +67,21 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
   if (batch < 1) throw std::invalid_argument("MemoryPlan: batch must be >= 1");
   if (batch > 1 && train)
     throw std::invalid_argument("MemoryPlan: batched plans are inference-only");
+  if (resume < 0 || resume >= n - 1)
+    throw std::invalid_argument("MemoryPlan: resume node out of range");
+  if (resume > 0) {
+    if (train) throw std::invalid_argument("MemoryPlan: resume plans are inference-only");
+    // The resumed suffix may only read the seed node or nodes after it;
+    // an edge reaching behind the seed means `resume` does not dominate
+    // the output and the prefix activations it skipped would be needed.
+    for (int id = resume + 1; id < n; ++id)
+      for (int src : graph.node(id).inputs)
+        if (src < resume)
+          throw std::invalid_argument("MemoryPlan: edge severed by resume node");
+    for (int id : collect)
+      if (id < resume)
+        throw std::invalid_argument("MemoryPlan: collect id precedes resume node");
+  }
 
   // Live intervals: definition to last consumer. The output node, collected
   // nodes, and (train) every node are pinned to the end of the pass —
@@ -89,11 +104,14 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
 
   // Activations first (their packing defines the reported activation peak),
   // in definition order; scratch slots fill remaining gaps afterwards.
+  // Nodes at or before the resume seed are not executed and own no slot
+  // (node `resume` views the caller's seed activation, like node 0 views
+  // the input on a full pass).
   activations_.assign(static_cast<std::size_t>(n), PlanSlot{});
   scratch_.assign(static_cast<std::size_t>(n), PlanSlot{});
   std::vector<Placed> placed;
   placed.reserve(static_cast<std::size_t>(n));
-  for (int id = 1; id < n; ++id) {
+  for (int id = resume + 1; id < n; ++id) {
     const std::size_t floats = static_cast<std::size_t>(shapes[static_cast<std::size_t>(id)].numel());
     naive_activation_floats_ += floats;
     PlanSlot& slot = activations_[static_cast<std::size_t>(id)];
@@ -103,7 +121,7 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
   planned_activation_floats_ = high_water(placed);
 
   // Per-node forward scratch lives only while its node executes.
-  for (int id = 1; id < n; ++id) {
+  for (int id = resume + 1; id < n; ++id) {
     const Node& nd = graph.node(id);
     std::vector<Shape> in;
     in.reserve(nd.inputs.size());
@@ -126,9 +144,9 @@ MemoryPlan::MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
 }
 
 bool MemoryPlan::matches(int node_count, const std::vector<int>& collect, bool train,
-                         int batch) const {
+                         int batch, int resume) const {
   return node_count == this->node_count() && train == train_ && batch == batch_ &&
-         collect == collect_;
+         resume == resume_ && collect == collect_;
 }
 
 }  // namespace netcut::nn

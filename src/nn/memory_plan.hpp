@@ -19,6 +19,14 @@
 // `b * lane_stride()`. Lanes are disjoint by construction (the stride is the
 // aligned high-water mark of one lane), so the per-lane alias proof carries
 // over to every lane and lanes may execute concurrently.
+//
+// Prefix-resume plans (resume > 0) cover only the graph suffix: node
+// `resume` plays the input role — the caller supplies its activation (the
+// shared trunk prefix of a cascade's deeper TRN), it owns no slot, and only
+// nodes after it are planned and executed. Legal only when every node past
+// `resume` reads nodes >= resume, which holds exactly when `resume` is an
+// output dominator (every TRN cut site is). resume == 0 is the ordinary
+// full-pass plan, bit-identical to before the parameter existed.
 #pragma once
 
 #include <cstddef>
@@ -38,13 +46,14 @@ class MemoryPlan {
  public:
   MemoryPlan() = default;
   MemoryPlan(const Graph& graph, const std::vector<Shape>& shapes,
-             const std::vector<int>& collect, bool train, int batch = 1);
+             const std::vector<int>& collect, bool train, int batch = 1, int resume = 0);
 
   /// True if this plan fits a pass over the same graph with the same
-  /// collect set, train flag, and batch size. A batch-N plan never serves a
-  /// batch-M pass (M != N): the arena capacity and lane layout differ.
+  /// collect set, train flag, batch size and resume node. A batch-N plan
+  /// never serves a batch-M pass (M != N): the arena capacity and lane
+  /// layout differ; likewise a resume-R plan never serves a resume-S pass.
   bool matches(int node_count, const std::vector<int>& collect, bool train,
-               int batch = 1) const;
+               int batch = 1, int resume = 0) const;
 
   /// Arena capacity the plan needs (activations + scratch, all lanes), in
   /// floats: lane_stride() * batch().
@@ -77,6 +86,9 @@ class MemoryPlan {
   /// independent alias proof re-derives live intervals from these.
   const std::vector<int>& collect() const { return collect_; }
   bool train() const { return train_; }
+  /// First executed node is resume() + 1; node resume() views the caller's
+  /// seed activation (0 for an ordinary full pass).
+  int resume() const { return resume_; }
 
   int node_count() const { return static_cast<int>(activations_.size()); }
 
@@ -88,6 +100,7 @@ class MemoryPlan {
   std::vector<int> collect_;
   bool train_ = false;
   int batch_ = 1;
+  int resume_ = 0;
   std::size_t lane_stride_ = 0;
   std::size_t naive_activation_floats_ = 0;
   std::size_t planned_activation_floats_ = 0;

@@ -48,18 +48,21 @@ Tensor Network::forward(const Tensor& input, bool train) {
   return forward_collect(input, {}, train)[0];
 }
 
-const MemoryPlan& Network::plan_for(const std::vector<int>& collect, bool train, int batch) {
+const MemoryPlan& Network::plan_for(const std::vector<int>& collect, bool train, int batch,
+                                    int resume) {
   const int n = graph_.node_count();
   for (std::size_t i = 0; i < plans_.size(); ++i) {
-    // The batch size is part of the cache key: a batch-M pass on a batch-N
-    // plan would bind lanes past the planned arena (or waste N-M lanes).
-    if (plans_[i].matches(n, collect, train, batch)) {
+    // The batch size and resume node are part of the cache key: a batch-M
+    // pass on a batch-N plan would bind lanes past the planned arena (or
+    // waste N-M lanes), and a resume-R plan has no slots before node R.
+    if (plans_[i].matches(n, collect, train, batch, resume)) {
       if (i != 0) std::rotate(plans_.begin(), plans_.begin() + static_cast<std::ptrdiff_t>(i),
                               plans_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
       return plans_.front();
     }
   }
-  plans_.insert(plans_.begin(), MemoryPlan(graph_, graph_.infer_shapes(), collect, train, batch));
+  plans_.insert(plans_.begin(),
+                MemoryPlan(graph_, graph_.infer_shapes(), collect, train, batch, resume));
   // {collect?} x {train?} plus a few live batch sizes in practice.
   constexpr std::size_t kMaxCachedPlans = 6;
   if (plans_.size() > kMaxCachedPlans) plans_.pop_back();
@@ -198,6 +201,170 @@ std::vector<Tensor> Network::forward_batch(const std::vector<const Tensor*>& inp
     for (const VerifyReport& r : lane_reports)
       merged.findings.insert(merged.findings.end(), r.findings.begin(), r.findings.end());
     enforce(merged, "Network::forward_batch (runtime numerics guard)");
+  }
+  return outputs;
+}
+
+void Network::check_resume(int resume, const Shape& seed_shape) const {
+  const int n = graph_.node_count();
+  if (resume < 0 || resume >= n - 1)
+    throw std::invalid_argument("Network::forward_from: resume node out of range");
+  // A resumed suffix may only read the seed node or nodes after it; an edge
+  // reaching behind the seed means `resume` is not an output dominator and
+  // the skipped prefix activations would be needed.
+  for (int id = resume + 1; id < n; ++id)
+    for (const int src : graph_.node(id).inputs)
+      if (src < resume)
+        throw std::invalid_argument("Network::forward_from: node " + std::to_string(id) +
+                                    " reads behind resume node " + std::to_string(resume));
+  const Shape& want = graph_.infer_shapes()[static_cast<std::size_t>(resume)];
+  if (seed_shape != want)
+    throw std::invalid_argument("Network::forward_from: seed shape " + seed_shape.to_string() +
+                                " does not match node " + std::to_string(resume) + " shape " +
+                                want.to_string());
+}
+
+Tensor Network::forward_from(int resume, const Tensor& seed) {
+  check_resume(resume, seed.shape());
+  if (resume == 0) return forward(seed, /*train=*/false);
+
+  const int n = graph_.node_count();
+  const bool guard = runtime_verify_enabled();
+  VerifyReport guard_report;
+
+  if (!planning_) {
+    activations_.assign(static_cast<std::size_t>(n), Tensor());
+    activations_[static_cast<std::size_t>(resume)] = seed;
+    for (int id = resume + 1; id < n; ++id) {
+      Node& nd = graph_.node(id);
+      std::vector<const Tensor*> in;
+      in.reserve(nd.inputs.size());
+      for (int src : nd.inputs) {
+        const Tensor& t = activations_[static_cast<std::size_t>(src)];
+        if (t.empty()) throw std::logic_error("Network::forward_from: missing activation");
+        in.push_back(&t);
+      }
+      activations_[static_cast<std::size_t>(id)] = nd.layer->forward(in, /*train=*/false);
+      if (guard) scan_activation(activations_[static_cast<std::size_t>(id)], id, nd.name,
+                                 guard_report);
+    }
+    // A resumed pass has no prefix activations: it can never seed backward.
+    have_activations_ = false;
+    if (guard) enforce(guard_report, "Network::forward_from (runtime numerics guard)");
+    Tensor out = activations_[static_cast<std::size_t>(graph_.output_node())];
+    activations_.clear();
+    return out;
+  }
+
+  const MemoryPlan& plan = plan_for({}, /*train=*/false, 1, resume);
+  arena_.reserve(plan.arena_floats());
+  if (guard) arena_.poison(0, plan.arena_floats());
+
+  std::vector<Tensor> acts(static_cast<std::size_t>(n));
+  // The seed plays node 0's role: read-only, so it views the caller's
+  // buffer directly instead of copying it into the arena.
+  acts[static_cast<std::size_t>(resume)] =
+      Tensor::view(seed.shape(), const_cast<float*>(seed.data()));
+  for (int id = resume + 1; id < n; ++id) {
+    Node& nd = graph_.node(id);
+    std::vector<const Tensor*> in;
+    in.reserve(nd.inputs.size());
+    for (int src : nd.inputs) {
+      const Tensor& t = acts[static_cast<std::size_t>(src)];
+      if (t.empty()) throw std::logic_error("Network::forward_from: missing activation");
+      in.push_back(&t);
+    }
+    Tensor out = Tensor::view(plan.shape(id), arena_.slot(plan.activation(id).offset));
+    float* scratch =
+        plan.scratch(id).floats != 0 ? arena_.slot(plan.scratch(id).offset) : nullptr;
+    nd.layer->forward_into(in, out, /*train=*/false, scratch);
+    if (guard) scan_activation(out, id, nd.name, guard_report);
+    acts[static_cast<std::size_t>(id)] = std::move(out);
+    if (id != n - 1)
+      for (int src : nd.inputs)
+        if (src != resume && plan.last_use(src) == id)
+          acts[static_cast<std::size_t>(src)] = Tensor();
+  }
+  have_activations_ = false;
+  activations_.clear();
+  if (guard) enforce(guard_report, "Network::forward_from (runtime numerics guard)");
+  // Copying the view materializes an owning tensor independent of the arena.
+  Tensor result = acts[static_cast<std::size_t>(graph_.output_node())];
+  return result;
+}
+
+std::vector<Tensor> Network::forward_from_batch(int resume,
+                                                const std::vector<const Tensor*>& seeds) {
+  const int batch = static_cast<int>(seeds.size());
+  std::vector<Tensor> outputs(seeds.size());
+  if (batch == 0) return outputs;
+  for (const Tensor* s : seeds) {
+    if (s == nullptr) throw std::invalid_argument("Network::forward_from_batch: null seed");
+    if (s->shape() != seeds[0]->shape())
+      throw std::invalid_argument("Network::forward_from_batch: seeds must share one shape");
+  }
+  check_resume(resume, seeds[0]->shape());
+  if (!planning_) {
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      outputs[i] = resume == 0 ? forward(*seeds[i], /*train=*/false)
+                               : forward_from(resume, *seeds[i]);
+    return outputs;
+  }
+
+  const int n = graph_.node_count();
+  const int out_node = graph_.output_node();
+  const MemoryPlan& plan = plan_for({}, /*train=*/false, batch, resume);
+  arena_.reserve(plan.arena_floats());
+
+  const bool guard = runtime_verify_enabled();
+  std::vector<VerifyReport> lane_reports(guard ? seeds.size() : 0);
+  if (guard) arena_.poison(0, plan.arena_floats());
+
+  // Same lane discipline as forward_batch (disjoint arena regions, no layer
+  // member writes in planned inference), so lanes run concurrently and the
+  // pass is bitwise identical to `batch` single forward_from calls at any
+  // thread count.
+  util::parallel_for(0, batch, 1, [&](std::int64_t lb, std::int64_t le) {
+    for (std::int64_t lane = lb; lane < le; ++lane) {
+      const std::size_t base = static_cast<std::size_t>(lane) * plan.lane_stride();
+      const Tensor& seed = *seeds[static_cast<std::size_t>(lane)];
+      std::vector<Tensor> acts(static_cast<std::size_t>(n));
+      acts[static_cast<std::size_t>(resume)] =
+          Tensor::view(seed.shape(), const_cast<float*>(seed.data()));
+      for (int id = resume + 1; id < n; ++id) {
+        Node& nd = graph_.node(id);
+        std::vector<const Tensor*> in;
+        in.reserve(nd.inputs.size());
+        for (int src : nd.inputs) {
+          const Tensor& t = acts[static_cast<std::size_t>(src)];
+          if (t.empty())
+            throw std::logic_error("Network::forward_from_batch: missing activation");
+          in.push_back(&t);
+        }
+        Tensor out =
+            Tensor::view(plan.shape(id), arena_.slot(base + plan.activation(id).offset));
+        float* scratch = plan.scratch(id).floats != 0
+                             ? arena_.slot(base + plan.scratch(id).offset)
+                             : nullptr;
+        nd.layer->forward_into(in, out, /*train=*/false, scratch);
+        if (guard) scan_activation(out, id, nd.name, lane_reports[static_cast<std::size_t>(lane)]);
+        acts[static_cast<std::size_t>(id)] = std::move(out);
+        if (id != n - 1)
+          for (int src : nd.inputs)
+            if (src != resume && plan.last_use(src) == id)
+              acts[static_cast<std::size_t>(src)] = Tensor();
+      }
+      outputs[static_cast<std::size_t>(lane)] = acts[static_cast<std::size_t>(out_node)];
+    }
+  });
+  have_activations_ = false;
+  activations_.clear();
+
+  if (guard) {
+    VerifyReport merged;  // lane order keeps the report deterministic
+    for (const VerifyReport& r : lane_reports)
+      merged.findings.insert(merged.findings.end(), r.findings.begin(), r.findings.end());
+    enforce(merged, "Network::forward_from_batch (runtime numerics guard)");
   }
   return outputs;
 }

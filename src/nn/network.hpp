@@ -62,6 +62,22 @@ class Network {
   /// loop of naive single-image forwards.
   std::vector<Tensor> forward_batch(const std::vector<const Tensor*>& inputs);
 
+  /// Inference-only forward that resumes mid-graph: node `resume` is seeded
+  /// with `seed` (an activation the caller already computed, e.g. the shared
+  /// trunk prefix of a cascade's deeper TRN) and only nodes after it
+  /// execute, so a cascade escalation pays just the delta layers. Legal only
+  /// when no node past `resume` reads behind it (true whenever `resume` is a
+  /// cut site / output dominator); throws std::invalid_argument otherwise,
+  /// or when `seed`'s shape differs from node `resume`'s inferred shape.
+  /// Bitwise identical to the suffix of a full forward whose prefix produced
+  /// `seed`; resume == 0 is the ordinary full forward.
+  Tensor forward_from(int resume, const Tensor& seed);
+
+  /// Batched counterpart of forward_from: one output per seed (all sharing
+  /// node `resume`'s shape), planned as disjoint arena lanes and bitwise
+  /// identical to seeds.size() independent forward_from calls.
+  std::vector<Tensor> forward_from_batch(int resume, const std::vector<const Tensor*>& seeds);
+
   /// Backpropagate from a gradient w.r.t. the output of the most recent
   /// train-mode forward. Parameter gradients accumulate in the layers.
   void backward(const Tensor& grad_output);
@@ -85,13 +101,16 @@ class Network {
   bool memory_planning() const { return planning_; }
 
   /// The (cached) memory plan for a pass with this collect set / train flag
-  /// / batch size. Exposed so tests and benchmarks can inspect planned vs
-  /// naive footprint (and that distinct batch sizes never share a plan).
-  const MemoryPlan& plan_for(const std::vector<int>& collect, bool train, int batch = 1);
+  /// / batch size / resume node. Exposed so tests and benchmarks can inspect
+  /// planned vs naive footprint (and that distinct batch sizes or resume
+  /// nodes never share a plan).
+  const MemoryPlan& plan_for(const std::vector<int>& collect, bool train, int batch = 1,
+                             int resume = 0);
 
  private:
   std::vector<Tensor> forward_collect_planned(const Tensor& input,
                                               const std::vector<int>& collect, bool train);
+  void check_resume(int resume, const Shape& seed_shape) const;
 
   Graph graph_;
   std::vector<Tensor> activations_;  // valid after a train-mode forward

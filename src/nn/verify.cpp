@@ -339,6 +339,38 @@ VerifyReport verify_plan(const Graph& graph, const MemoryPlan& plan) {
     return report;
   }
 
+  // Prefix-resume plans execute only nodes past the seed: the seed views
+  // caller memory, skipped prefix nodes must own no slot, and no executed
+  // node may read behind the seed (the independent re-check of the
+  // planner's dominator assumption).
+  const int resume = plan.resume();
+  if (resume < 0 || resume >= n - 1) {
+    report.add(Severity::kError, resume, rules::kPlanStructure, "resume node out of range");
+    return report;
+  }
+  if (resume > 0) {
+    if (plan.train()) {
+      report.add(Severity::kError, resume, rules::kPlanStructure,
+                 "resume plans are inference-only");
+      return report;
+    }
+    for (int id = resume + 1; id < n; ++id)
+      for (const int src : graph.node(id).inputs)
+        if (src < resume)
+          report.add(Severity::kError, id, rules::kPlanStructure,
+                     "node " + std::to_string(id) + " reads node " + std::to_string(src) +
+                         " behind resume node " + std::to_string(resume));
+    for (const int id : plan.collect())
+      if (id < resume)
+        report.add(Severity::kError, id, rules::kPlanStructure,
+                   "collect id precedes resume node");
+    for (int id = 1; id <= resume; ++id)
+      if (plan.activation(id).floats != 0 || plan.scratch(id).floats != 0)
+        report.add(Severity::kError, id, rules::kPlanStructure,
+                   "node before resume owns an arena slot");
+    if (!report.ok()) return report;
+  }
+
   // Independent live intervals: def -> last consumer, then pin collected
   // nodes and the output to the end of the pass, and everything when the
   // pass retains activations for backward. This re-implements (and must
@@ -362,7 +394,7 @@ VerifyReport verify_plan(const Graph& graph, const MemoryPlan& plan) {
 
   std::vector<SlotView> slots;
   slots.reserve(2 * static_cast<std::size_t>(n));
-  for (int id = 1; id < n; ++id) {
+  for (int id = resume + 1; id < n; ++id) {
     const Shape& shape = shapes[static_cast<std::size_t>(id)];
     if (plan.shape(id) != shape)
       report.add(Severity::kError, id, rules::kPlanShape,

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "app/watchdog.hpp"
+#include "core/cascade.hpp"
 #include "hw/faults.hpp"
 #include "nn/network.hpp"
 #include "serve/batcher.hpp"
@@ -38,16 +39,46 @@
 
 namespace netcut::serve {
 
+/// Input-adaptive cascade riding on a ServeOption: the option's net /
+/// latency_ms describe the *shallow* first stage, and this struct adds the
+/// calibrated escalation behaviour. Escalation is gated twice per request:
+/// by confidence (softmax margin below `threshold`) and by deadline slack —
+/// an escalation-worthy request still exits shallow when the nominal
+/// two-stage time would blow its deadline (a confident-but-late answer
+/// beats a better-but-missed one).
+struct ServeCascade {
+  bool enabled = false;
+  /// Runs real two-stage compute. May be null for timing-only simulations:
+  /// escalation wishes are then drawn per request id from a seed derived
+  /// from the server seed, so the decision for a given request is identical
+  /// however batches form or steal across workers.
+  core::CascadeTrn* trn = nullptr;
+  /// Escalate when the stage-1 softmax margin falls below this.
+  double threshold = 0.0;
+  /// Calibrated escalation mass (CascadeExplorer), used by batch formation
+  /// to budget the expected stage-2 time, and as the wish probability of
+  /// timing-only options.
+  double p_escalate = 0.0;
+  /// Nominal stage-2 latency for k escalated requests (the delta layers
+  /// plus the deep head — e.g. LatencyLab::true_stage2_batch_ms curried).
+  /// Must be non-decreasing in k. Required when enabled.
+  std::function<double(int)> stage2_ms;
+};
+
 /// One deployable TRN on the latency/accuracy Pareto front.
 struct ServeOption {
   std::string name;  // paper-style "ResNet50/113"
   /// Runs the real batched forward for completions. May be null for
-  /// timing-only simulations (outputs are then left empty).
+  /// timing-only simulations (outputs are then left empty). Ignored when
+  /// cascade.trn is set (the cascade then owns compute).
   nn::Network* net = nullptr;
   /// Nominal (noise-free) service time of a batch of n on the device, e.g.
   /// LatencyLab::true_batch_ms or ProfilerEstimator::estimate_batch_ms
-  /// curried over (base, cut). Must be non-decreasing in n.
+  /// curried over (base, cut). Must be non-decreasing in n. With a cascade
+  /// this is the *stage-1* (shallow) latency.
   std::function<double(int)> latency_ms;
+  /// Confidence-gated second stage; disabled by default.
+  ServeCascade cascade;
 };
 
 struct ServeConfig {
@@ -82,6 +113,9 @@ struct Completion {
   /// verdict — a shed request is not a silent miss. finish_ms is the
   /// rejection time and missed/failed stay false.
   bool rejected = false;
+  /// Served by the cascade's second stage (low stage-1 confidence and the
+  /// deadline had slack for the deep TRN).
+  bool escalated = false;
   std::size_t option = 0;     // Pareto-front index that served it
   std::size_t worker = kNoWorker;  // fleet replica that served it
   int batch = 0;              // size of the batch it rode in
@@ -99,10 +133,18 @@ struct ServeSwitch {
 struct ServeStats {
   std::int64_t served = 0;
   std::int64_t missed = 0;
+  std::int64_t escalated = 0;  // requests the cascade sent to stage 2
   std::int64_t batches = 0;
   double busy_ms = 0.0;  // total service time charged
   std::vector<ServeSwitch> switches;
 };
+
+/// Nominal service time of a batch of n on `opt`, including the *expected*
+/// escalation mass of an enabled cascade: latency_ms(n) plus the stage-2
+/// time for ceil(p_escalate * n) requests. Batch formation and admission
+/// control budget with this, so an escalating option is never batched as if
+/// stage 2 were free.
+double expected_latency_ms(const ServeOption& opt, int n);
 
 class BatchServer {
  public:
@@ -127,8 +169,8 @@ class BatchServer {
 
   /// Nominal latency of the fastest (last) Pareto option for a batch of n —
   /// the admission-control bound: if even this cannot meet a deadline,
-  /// nothing on this replica can.
-  double fastest_latency_ms(int n) const { return options_.back().latency_ms(n); }
+  /// nothing on this replica can. Includes expected escalation mass.
+  double fastest_latency_ms(int n) const { return expected_latency_ms(options_.back(), n); }
 
   std::size_t option_count() const { return options_.size(); }
   const std::string& option_name(std::size_t i) const { return options_[i].name; }
@@ -163,6 +205,10 @@ class BatchServer {
   /// watchdog's own mutex (observe under accounting) and never while the
   /// queue lock is held.
   mutable util::RankedMutex mu_{util::rank::kServer, "serve/server"};
+  /// Seed for timing-only escalation wishes, drawn per request *id* (not
+  /// from rng_): a request's wish is identical however batches form, and
+  /// the jitter stream stays aligned with cascade-free configurations.
+  std::uint64_t cascade_seed_;
   util::Rng rng_ NETCUT_GUARDED_BY(mu_);
   hw::FaultStream fault_stream_ NETCUT_GUARDED_BY(mu_);
   // EWMA of observed / nominal service time.

@@ -144,8 +144,8 @@ inline bool reports_identical(const SimReport& a, const SimReport& b) {
     const serve::Completion& x = a.completions[i];
     const serve::Completion& y = b.completions[i];
     if (x.id != y.id || x.finish_ms != y.finish_ms || x.missed != y.missed ||
-        x.failed != y.failed || x.rejected != y.rejected || x.option != y.option ||
-        x.worker != y.worker || x.batch != y.batch)
+        x.failed != y.failed || x.rejected != y.rejected || x.escalated != y.escalated ||
+        x.option != y.option || x.worker != y.worker || x.batch != y.batch)
       return false;
   }
   return true;
@@ -293,8 +293,11 @@ inline void digest_completion(std::uint64_t& h, const serve::Completion& c) {
   digest_u64(h, double_bits(c.finish_ms));
   digest_u64(h, c.tenant);
   digest_u64(h, c.slo);
+  // `escalated` rides bit 3 so every pre-cascade digest (escalated always
+  // false) keeps its stored value.
   digest_u64(h, static_cast<std::uint64_t>(c.missed) | (static_cast<std::uint64_t>(c.failed) << 1) |
-                    (static_cast<std::uint64_t>(c.rejected) << 2));
+                    (static_cast<std::uint64_t>(c.rejected) << 2) |
+                    (static_cast<std::uint64_t>(c.escalated) << 3));
   digest_u64(h, c.option);
   digest_u64(h, c.worker);
   digest_u64(h, static_cast<std::uint64_t>(c.batch));

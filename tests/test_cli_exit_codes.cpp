@@ -114,6 +114,42 @@ TEST(CliExitCodes, KillWorkerRunsTheFailoverDemo) {
   EXPECT_NE(r.output.find("replica1: down"), std::string::npos) << r.output;
 }
 
+TEST(CliExitCodes, CascadeMalformedSpecExitsTwo) {
+  // Eager validation: every malformed spec dies on one line with exit 2
+  // before the evaluator pipeline spins up.
+  for (const char* spec :
+       {"banana", "shallow=2", "shallow=2,deep=4", "shallow=a,deep=4,thr=0.2",
+        "shallow=2,deep=1,thr=0.5", "shallow=-1,deep=4,thr=0.2",
+        "shallow=2,deep=4,thr=2.5", "shallow=2,deep=4,thr=0.2,bogus=1"}) {
+    const auto r = testing::run_command(cli(std::string("--cascade ") + spec));
+    EXPECT_FALSE(r.signalled) << spec;
+    EXPECT_EQ(r.exit_code, 2) << spec << ": " << r.output;
+    EXPECT_NE(r.output.find("--cascade:"), std::string::npos) << spec << ": " << r.output;
+  }
+}
+
+TEST(CliExitCodes, CascadeOrdinalOutOfRangeExitsTwo) {
+  // Grammar-valid but ordinal 99 exceeds every zoo trunk's blockwise cut
+  // list; the demo rejects it before calibrating anything.
+  const auto r = testing::run_command(
+      cli("--cascade shallow=2,deep=99,thr=0.2 --fast --net MobileNetV1-0.25 "
+          "--cache-dir /tmp/netcut_cli_cascade_range"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("out of range"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, CascadeRunsTheDemo) {
+  const auto r = testing::run_command(
+      cli("--cascade shallow=2,deep=4,thr=0.2 --fast --net MobileNetV1-0.25 "
+          "--cache-dir /tmp/netcut_cli_cascade_demo"));
+  EXPECT_FALSE(r.signalled);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("cascade:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("p_escalate"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("static-cut front"), std::string::npos) << r.output;
+}
+
 TEST(CliExitCodes, UnknownNetworkExitsTwo) {
   const auto r = testing::run_command(cli("--net NoSuchNet-9.99"));
   EXPECT_FALSE(r.signalled);

@@ -303,8 +303,8 @@ TEST(DeadlineWatchdog, SustainedThrottleTriggersSingleFallback) {
   // throttle that never cools pushes the preferred network over the
   // deadline on every frame; the fallback still fits.
   const hw::FaultModel hot(hw::parse_fault_spec("throttle=2.0@0~100000,seed=4"));
-  std::vector<app::TrnOption> options = {{"slow-accurate", 0.85, &f.vision},
-                                         {"fast-fallback", 0.30, &f.vision}};
+  std::vector<app::TrnOption> options = {{"slow-accurate", 0.85, &f.vision, {}},
+                                         {"fast-fallback", 0.30, &f.vision, {}}};
   app::ControlLoopConfig cfg;
   cfg.episodes = 20;
   app::ControlLoop loop(options, f.emg, f.emg_gen, cfg, app::WatchdogConfig{}, &hot);
@@ -325,8 +325,8 @@ TEST(DeadlineWatchdog, RecoversToPreferredOptionAfterTransient) {
   // The throttle cools with a 100-frame e-folding: the watchdog must fall
   // back while the device is hot and step back up once it cools.
   const hw::FaultModel transient(hw::parse_fault_spec("throttle=2.0@0~100,seed=4"));
-  std::vector<app::TrnOption> options = {{"slow-accurate", 0.85, &f.vision},
-                                         {"fast-fallback", 0.30, &f.vision}};
+  std::vector<app::TrnOption> options = {{"slow-accurate", 0.85, &f.vision, {}},
+                                         {"fast-fallback", 0.30, &f.vision, {}}};
   app::ControlLoopConfig cfg;
   cfg.episodes = 40;
   app::ControlLoop loop(options, f.emg, f.emg_gen, cfg, app::WatchdogConfig{}, &transient);
@@ -348,7 +348,7 @@ TEST(DeadlineWatchdog, SingleOptionWithoutFaultsMatchesLegacyLoop) {
   app::ControlLoopConfig cfg;
   cfg.episodes = 10;
   app::ControlLoop legacy(f.vision, f.emg, f.emg_gen, 0.3, cfg);
-  std::vector<app::TrnOption> one = {{"only", 0.3, &f.vision}};
+  std::vector<app::TrnOption> one = {{"only", 0.3, &f.vision, {}}};
   app::ControlLoop adaptive(one, f.emg, f.emg_gen, cfg, app::WatchdogConfig{},
                             &hw::FaultModel::disabled());
   const app::ControlLoopReport a = legacy.run(f.dataset);

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "app/watchdog.hpp"
+#include "core/cascade.hpp"
+#include "core/trn.hpp"
 #include "hw/device.hpp"
 #include "hw/faults.hpp"
 #include "nn/init.hpp"
@@ -95,9 +97,9 @@ serve::Fleet make_fleet(const std::shared_ptr<const nn::Graph>& graph, std::size
   for (std::size_t w = 0; w < n; ++w) {
     serve::FleetWorker fw;
     fw.name = "w" + std::to_string(w);
-    fw.options = {{"preferred", nullptr, batch_curve(graph)}};
+    fw.options = {{"preferred", nullptr, batch_curve(graph), {}}};
     if (fallback_scale < 1.0)
-      fw.options.push_back({"fallback", nullptr, batch_curve(graph, fallback_scale)});
+      fw.options.push_back({"fallback", nullptr, batch_curve(graph, fallback_scale), {}});
     fw.serve.max_batch = 8;
     fw.serve.nominal_deadline_ms = nominal_deadline_ms;
     fw.serve.seed = util::derive_seed(7070, "fleet/worker/" + std::to_string(w));
@@ -404,7 +406,7 @@ TEST(ServeSim, SameSeedIsBitIdentical) {
     serve::RequestQueue q;
     serve::ServeConfig sc;
     sc.nominal_deadline_ms = load.deadline_slack_ms;
-    serve::BatchServer server({{"trn", nullptr, batch_curve(g)}}, q, sc);
+    serve::BatchServer server({{"trn", nullptr, batch_curve(g), {}}}, q, sc);
     return serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
   };
   const SimReport a = run();
@@ -429,7 +431,7 @@ TEST(ServeSim, BatchedServingBeatsSingleRequestUnderOverload) {
     serve::ServeConfig sc;
     sc.max_batch = max_batch;
     sc.nominal_deadline_ms = load.deadline_slack_ms;
-    serve::BatchServer server({{"trn", nullptr, batch_curve(g)}}, q, sc);
+    serve::BatchServer server({{"trn", nullptr, batch_curve(g), {}}}, q, sc);
     return serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
   };
   const SimReport single = run(1);
@@ -463,7 +465,7 @@ TEST(ServeSim, SaturationFallsBackToFasterTrnLikeADeadlineBreach) {
   sc.watchdog.window = 16;
   sc.watchdog.cooldown_frames = 32;
   serve::BatchServer server(
-      {{"preferred", nullptr, batch_curve(g)}, {"fallback", nullptr, batch_curve(g, 0.25)}},
+      {{"preferred", nullptr, batch_curve(g), {}}, {"fallback", nullptr, batch_curve(g, 0.25), {}}},
       q, sc);
   const SimReport rep =
       serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
@@ -501,7 +503,7 @@ TEST(ServeSim, ServedOutputsBitwiseIdenticalToSingleImageForwards) {
   serve::RequestQueue q;
   serve::ServeConfig sc;
   sc.nominal_deadline_ms = load.deadline_slack_ms;
-  serve::BatchServer server({{"trn", &served, batch_curve(graph_ptr)}}, q, sc);
+  serve::BatchServer server({{"trn", &served, batch_curve(graph_ptr), {}}}, q, sc);
   const SimReport rep =
       serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, pool));
 
@@ -517,6 +519,186 @@ TEST(ServeSim, ServedOutputsBitwiseIdenticalToSingleImageForwards) {
         << "request " << c.id << " (batch " << c.batch << ")";
   }
   EXPECT_TRUE(saw_multi) << "load never formed a multi-request batch";
+}
+
+TEST(ServeSim, CascadeSameSeedBitIdenticalAndNoSilentOutcomes) {
+  // Timing-only cascade option: escalation wishes are Bernoulli(p) draws
+  // keyed on (cascade seed, request id), so two same-seed runs must agree
+  // on every completion — including the escalated flag, which rides bit 3
+  // of the completion digest.
+  const auto g = small_trunk();
+  const auto deep = batch_curve(g);
+  LoadConfig load;
+  load.requests = 400;
+  load.mean_interarrival_ms = deep(1) / 3.0;
+  load.deadline_slack_ms = 6.0 * deep(1);
+
+  auto run = [&] {
+    serve::RequestQueue q;
+    serve::ServeConfig sc;
+    sc.max_batch = 8;
+    sc.nominal_deadline_ms = load.deadline_slack_ms;
+    serve::ServeCascade cascade;
+    cascade.enabled = true;
+    cascade.threshold = 0.2;
+    cascade.p_escalate = 0.3;
+    cascade.stage2_ms = batch_curve(g, 0.6);
+    serve::BatchServer server({{"cascade", nullptr, batch_curve(g, 0.35), cascade}}, q, sc);
+    SimReport rep = serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, {}));
+    return std::make_pair(std::move(rep), server.stats().escalated);
+  };
+  const auto [a, esc_a] = run();
+  const auto [b, esc_b] = run();
+
+  ASSERT_EQ(a.completions.size(), 400u);
+  EXPECT_TRUE(serve_sim::reports_identical(a, b));
+  std::uint64_t ha = 14695981039346656037ull, hb = ha;
+  for (const serve::Completion& c : a.completions) serve_sim::digest_completion(ha, c);
+  for (const serve::Completion& c : b.completions) serve_sim::digest_completion(hb, c);
+  EXPECT_EQ(ha, hb);
+
+  // No silent outcomes: every submitted request completes exactly once with
+  // explicit flags, and the server's escalation counter matches the
+  // per-completion flags.
+  std::vector<char> seen(a.completions.size(), 0);
+  std::int64_t escalated = 0;
+  for (const serve::Completion& c : a.completions) {
+    ASSERT_LT(c.id, seen.size());
+    ASSERT_EQ(seen[c.id], 0) << "request " << c.id << " completed twice";
+    seen[c.id] = 1;
+    escalated += c.escalated ? 1 : 0;
+  }
+  EXPECT_EQ(escalated, esc_a);
+  EXPECT_EQ(esc_a, esc_b);
+  EXPECT_GT(escalated, 0);
+  EXPECT_LT(escalated, 400);
+}
+
+TEST(ServeSim, CascadeTailNoWorseThanEqualAccuracyStaticCut) {
+  // A mixed easy/hard workload against the static cut that delivers the
+  // cascade's accuracy — the deep one (escalations produce the deep TRN's
+  // output, early exits only take high-confidence answers). Unbatched, the
+  // deep cut cannot sustain the offered load; the cascade pays the full
+  // two-stage price only for the escalating fraction and keeps up, so its
+  // p99 and miss rate must be no worse.
+  const auto g = small_trunk();
+  const auto deep = batch_curve(g);
+  LoadConfig load;
+  load.requests = 400;
+  load.mean_interarrival_ms = 0.9 * deep(1);  // beyond the unbatched deep rate
+  load.deadline_slack_ms = 4.0 * deep(1);
+  const auto arrivals = serve_sim::generate_arrivals(load, {});
+
+  auto run = [&](bool cascaded) {
+    serve::RequestQueue q;
+    serve::ServeConfig sc;
+    sc.max_batch = 1;
+    sc.nominal_deadline_ms = load.deadline_slack_ms;
+    serve::ServeCascade cascade;
+    if (cascaded) {
+      cascade.enabled = true;
+      cascade.threshold = 0.2;
+      cascade.p_escalate = 0.25;
+      // Stage 2 resumes from the shared prefix: stage1 + stage2 lands near
+      // (just above) the deep cut's from-scratch cost.
+      cascade.stage2_ms = batch_curve(g, 0.6);
+    }
+    serve::BatchServer server(
+        {{cascaded ? "cascade" : "deep", nullptr,
+          cascaded ? batch_curve(g, 0.35) : batch_curve(g), cascade}},
+        q, sc);
+    return serve_sim::run_open_loop(server, q, arrivals);
+  };
+  const SimReport cascade_rep = run(true);
+  const SimReport deep_rep = run(false);
+
+  EXPECT_LE(cascade_rep.miss_rate, deep_rep.miss_rate)
+      << "cascade=" << cascade_rep.miss_rate << " deep=" << deep_rep.miss_rate;
+  EXPECT_LE(cascade_rep.p99_response_ms, deep_rep.p99_response_ms);
+  EXPECT_LT(cascade_rep.p50_response_ms, deep_rep.p50_response_ms);
+}
+
+TEST(ServeSim, CascadeServedOutputsMatchStageReferences) {
+  // The compute cascade's serving contract: an escalated request gets
+  // exactly the deep TRN's output (prefix resume included), everything else
+  // gets exactly the shallow head's — bitwise, through batching.
+  nn::Graph trunk = zoo::build_trunk(zoo::NetId::kMobileNetV1_025, 32);
+  util::Rng rng(606);
+  nn::init_graph(trunk, rng);
+  const std::vector<int> cuts = core::blockwise_cutpoints(trunk);
+  core::CascadeTrn cascade(trunk, cuts[cuts.size() / 3], cuts.back(), core::HeadConfig{},
+                           rng);
+  nn::Network ref_shallow(cascade.shallow().graph());
+  nn::Network ref_deep(cascade.deep().graph());
+
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(Tensor::randn(Shape::chw(3, 32, 32), rng, 0.5f));
+  // Median stage-1 margin of the pool: roughly half the requests escalate —
+  // the mixed easy/hard workload.
+  std::vector<double> margins;
+  for (const Tensor& img : pool) margins.push_back(cascade.stage1(img).margin);
+  std::sort(margins.begin(), margins.end());
+  const double threshold = margins[margins.size() / 2];
+
+  auto deep_graph = std::make_shared<const nn::Graph>(ref_deep.graph());
+  auto shallow_graph = std::make_shared<const nn::Graph>(ref_shallow.graph());
+  const auto shallow_curve = batch_curve(shallow_graph);
+  LoadConfig load;
+  load.requests = 48;
+  load.mean_interarrival_ms = shallow_curve(1) / 3.0;
+  load.deadline_slack_ms = 8.0 * batch_curve(deep_graph)(1);
+
+  serve::RequestQueue q;
+  serve::ServeConfig sc;
+  sc.max_batch = 4;
+  sc.nominal_deadline_ms = load.deadline_slack_ms;
+  serve::ServeCascade sco;
+  sco.enabled = true;
+  sco.trn = &cascade;
+  sco.threshold = threshold;
+  sco.p_escalate = 0.5;
+  sco.stage2_ms = batch_curve(deep_graph, 0.5);
+  serve::BatchServer server({{"cascade", nullptr, shallow_curve, sco}}, q, sc);
+  const SimReport rep =
+      serve_sim::run_open_loop(server, q, serve_sim::generate_arrivals(load, pool));
+
+  ASSERT_EQ(rep.completions.size(), 48u);
+  int escalated = 0, exited = 0;
+  for (const serve::Completion& c : rep.completions) {
+    const Tensor& input = pool[c.id % pool.size()];
+    const Tensor expect = c.escalated ? ref_deep.forward(input) : ref_shallow.forward(input);
+    escalated += c.escalated ? 1 : 0;
+    exited += c.escalated ? 0 : 1;
+    ASSERT_EQ(c.output.shape(), expect.shape());
+    ASSERT_EQ(std::memcmp(c.output.data(), expect.data(),
+                          sizeof(float) * static_cast<std::size_t>(expect.numel())),
+              0)
+        << "request " << c.id << (c.escalated ? " (escalated)" : " (early exit)");
+  }
+  EXPECT_GT(escalated, 0) << "workload never escalated";
+  EXPECT_GT(exited, 0) << "workload never exited early";
+  EXPECT_EQ(server.stats().escalated, escalated);
+}
+
+TEST(ServeSim, ExpectedLatencyBudgetsEscalationMass) {
+  const auto g = small_trunk();
+  const auto stage1 = batch_curve(g, 0.35);
+  const auto stage2 = batch_curve(g, 0.6);
+  serve::ServeCascade cascade;
+  cascade.enabled = true;
+  cascade.threshold = 0.2;
+  cascade.p_escalate = 0.3;
+  cascade.stage2_ms = stage2;
+  const serve::ServeOption opt{"cascade", nullptr, stage1, cascade};
+  // ceil(0.3 * 8) = 3 escalations budgeted at batch 8.
+  EXPECT_DOUBLE_EQ(serve::expected_latency_ms(opt, 8), stage1(8) + stage2(3));
+  EXPECT_DOUBLE_EQ(serve::expected_latency_ms(opt, 1), stage1(1) + stage2(1));
+  const serve::ServeOption plain{"deep", nullptr, batch_curve(g), {}};
+  EXPECT_DOUBLE_EQ(serve::expected_latency_ms(plain, 8), batch_curve(g)(8));
+  serve::ServeCascade never = cascade;
+  never.p_escalate = 0.0;
+  const serve::ServeOption opt0{"cascade0", nullptr, stage1, never};
+  EXPECT_DOUBLE_EQ(serve::expected_latency_ms(opt0, 8), stage1(8));
 }
 
 TEST(FleetSim, SameSeedBitIdenticalIncludingPerTenantReport) {
@@ -574,7 +756,7 @@ TEST(FleetSim, BitIdenticalAtOneAndEightThreads) {
     for (std::size_t w = 0; w < 2; ++w) {
       nets.push_back(std::make_unique<nn::Network>(*graph_ptr));
       serve::FleetWorker fw;
-      fw.options = {{"trn", nets.back().get(), batch_curve(graph_ptr)}};
+      fw.options = {{"trn", nets.back().get(), batch_curve(graph_ptr), {}}};
       fw.serve.nominal_deadline_ms = fc.classes[0].deadline_slack_ms;
       workers.push_back(std::move(fw));
     }
@@ -771,7 +953,7 @@ TEST(Fleet, ValidatesConfigAndSloReferences) {
   no_classes.classes.clear();
   std::vector<serve::FleetWorker> one;
   serve::FleetWorker fw;
-  fw.options = {{"trn", nullptr, batch_curve(g)}};
+  fw.options = {{"trn", nullptr, batch_curve(g), {}}};
   one.push_back(fw);
   EXPECT_THROW(serve::Fleet(std::move(one), no_classes), std::invalid_argument);
 

@@ -350,8 +350,8 @@ serve::Fleet sim_fleet(std::size_t n, serve::FleetConfig cfg, double deadline_ms
   for (std::size_t w = 0; w < n; ++w) {
     serve::FleetWorker fw;
     fw.name = "w" + std::to_string(w);
-    fw.options = {{"preferred", nullptr, trunk_curve()},
-                  {"fallback", nullptr, trunk_curve(0.25)}};
+    fw.options = {{"preferred", nullptr, trunk_curve(), {}},
+                  {"fallback", nullptr, trunk_curve(0.25), {}}};
     fw.serve.max_batch = 8;
     fw.serve.nominal_deadline_ms = deadline_ms;
     fw.serve.seed = util::derive_seed(7070, "failover/worker/" + std::to_string(w));
